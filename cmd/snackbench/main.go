@@ -1,0 +1,305 @@
+// Command snackbench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+// recorded results).
+//
+// Usage:
+//
+//	snackbench -exp tableI|tableII|tableV|fig1|fig2|fig3|fig9|fig10|fig11|fig12|fig13|corun|all
+//	snackbench -exp fig12 -scale 0.5          # faster, noisier
+//	snackbench -exp fig1  -benchmarks FMM,Radix
+//
+// Output is plain text shaped like the paper's artifacts: one table or
+// one data series per figure panel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"snacknoc/internal/cpu"
+	"snacknoc/internal/experiments"
+	"snacknoc/internal/traffic"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (tableI, tableII, tableV, fig1, fig2, fig3, fig9, fig10, fig11, fig12, fig13, corun, all)")
+	scale := flag.Float64("scale", 1.0, "benchmark instruction-budget scale (1.0 = reference)")
+	benchList := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 16)")
+	priority := flag.Bool("priority", true, "priority arbitration for co-run experiments")
+	flag.Parse()
+
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	benches := traffic.All()
+	if *benchList != "" {
+		benches = nil
+		for _, name := range strings.Split(*benchList, ",") {
+			p := traffic.ByName(strings.TrimSpace(name))
+			if p == nil {
+				fatalf("unknown benchmark %q", name)
+			}
+			benches = append(benches, p)
+		}
+	}
+
+	run := func(name string) {
+		switch name {
+		case "tableI":
+			tableI()
+		case "tableII":
+			tableII()
+		case "tableV":
+			tableV()
+		case "fig1":
+			fig1(benches, experiments.Scale(*scale))
+		case "fig2":
+			fig2(experiments.Scale(*scale))
+		case "fig3":
+			fig3(experiments.Scale(*scale))
+		case "fig9":
+			fig9()
+		case "fig10":
+			fig10()
+		case "fig11", "corun":
+			fig11(experiments.Scale(*scale), *priority)
+		case "fig12":
+			fig12(benches, experiments.Scale(*scale))
+		case "fig13":
+			fig13(benches, experiments.Scale(*scale))
+		default:
+			fatalf("unknown experiment %q", name)
+		}
+	}
+	if *exp == "all" {
+		for _, name := range []string{"tableI", "tableII", "tableV", "fig10", "fig9",
+			"fig2", "fig3", "fig1", "fig11", "fig12", "fig13"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "snackbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func tableI() {
+	header("Table I: Baseline NoC Configurations")
+	fmt.Printf("%-28s %10s %10s %10s\n", "NoC Parameter", "DAPPER", "AxNoC", "BiNoCHS")
+	rows := experiments.TableI()
+	fmt.Printf("%-28s %9d-stage %7d-stage %7d-stage\n", "Router Microarchitecture",
+		rows[0].PipelineDepth, rows[1].PipelineDepth, rows[2].PipelineDepth)
+	fmt.Printf("%-28s %9dB %9dB %9dB\n", "NoC Channel Width",
+		rows[0].ChannelWidthB, rows[1].ChannelWidthB, rows[2].ChannelWidthB)
+	fmt.Printf("%-28s %10d %10d %10d\n", "Num. Virtual Channels",
+		rows[0].VirtualChans, rows[1].VirtualChans, rows[2].VirtualChans)
+	fmt.Printf("%-28s %10d %10d %10d\n", "Num. Buffers per Input VC",
+		rows[0].BufPerVC, rows[1].BufPerVC, rows[2].BufPerVC)
+}
+
+func tableII() {
+	header("Table II: Area and Power Overhead per Functional Unit")
+	res := experiments.TableII()
+	fmt.Println("Central Packet Manager (CPM)")
+	for _, u := range res.CPMUnits {
+		fmt.Printf("  %-40s %7.1fmW %8.4f mm²\n", u.Name, u.PowerW*1000, u.AreaMM)
+	}
+	fmt.Println("Router Control Unit (RCU)")
+	for _, u := range res.RCUUnits {
+		fmt.Printf("  %-40s %7.1fmW %8.4f mm²\n", u.Name, u.PowerW*1000, u.AreaMM)
+	}
+	for _, t := range res.Totals {
+		fmt.Printf("%-42s %8.2f W %8.2f mm²\n", t.Name, t.PowerW, t.AreaMM)
+	}
+}
+
+func tableV() {
+	header("Table V: Area and Power of CPU vs SnackNoC")
+	res := experiments.TableV()
+	fmt.Printf("%-28s %8s %10s\n", "Platform", "Power(W)", "Area(mm²)")
+	fmt.Printf("%-28s %8.0f %10.0f\n", res.CPU.Name, res.CPU.PowerW, res.CPU.AreaMM)
+	fmt.Printf("%-28s %8.2f %10.2f\n", "SnackNoC (16 RCU)", res.Snack.PowerW, res.Snack.AreaMM)
+}
+
+func fig10() {
+	header("Fig 10: Uncore Power and Area with SnackNoC")
+	res := experiments.Fig10()
+	labels := []string{"L2 Cache", "SnackNoC Additions", "L1 Cache", "Baseline NoC"}
+	fmt.Printf("%-22s %9s %9s\n", "Component", "Power(%)", "Area(%)")
+	for i, l := range labels {
+		fmt.Printf("%-22s %8.1f%% %8.1f%%\n", l, res.PowerPct[i], res.AreaPct[i])
+	}
+	t := res.Breakdown.Total()
+	fmt.Printf("%-22s %7.2f W %6.1f mm²\n", "Total uncore", t.PowerW, t.AreaMM)
+}
+
+func fig9() {
+	header("Fig 9: SnackNoC Kernel Performance vs CPU Cores (norm. to 1 core)")
+	res, err := experiments.RunFig9(experiments.DefaultKernelDims(), cpu.DefaultCPUConfig())
+	if err != nil {
+		fatalf("fig9: %v", err)
+	}
+	fmt.Printf("%-11s %7s %7s %7s %7s %9s   %s\n",
+		"Kernel", "1 Core", "2 Cores", "4 Cores", "8 Cores", "SnackNoC", "(snack cycles / instrs)")
+	for _, r := range res.Rows {
+		fmt.Printf("%-11s %7.2f %7.2f %7.2f %7.2f %9.2f   (%d / %d)\n",
+			r.Kernel, r.CoreSpeedups[0], r.CoreSpeedups[1], r.CoreSpeedups[2],
+			r.CoreSpeedups[3], r.SnackSpeedup, r.SnackCycles, r.Instructions)
+	}
+}
+
+func fig2(scale experiments.Scale) {
+	header("Fig 2: NoC Router Usage over Time (DAPPER)")
+	res, err := experiments.RunFig2(scale)
+	if err != nil {
+		fatalf("fig2: %v", err)
+	}
+	for _, run := range res.Runs {
+		fmt.Printf("\n%s: runtime %d cycles\n", run.Benchmark, run.Runtime)
+		fmt.Printf("  (a) crossbar: median %5.2f%%  peak %5.2f%%\n", run.XbarMedianPct, run.XbarMaxPct)
+		fmt.Printf("  (b) link:     median %5.2f%%  peak %5.2f%%\n", run.LinkMedianPct, run.LinkMaxPct)
+		fmt.Printf("  crossbar usage %% per router over time (rows = R0..R15):\n")
+		printSeries(run.XbarSeries, 12)
+	}
+}
+
+func printSeries(series [][]float64, cols int) {
+	for ri, s := range series {
+		if len(s) == 0 {
+			continue
+		}
+		step := len(s) / cols
+		if step == 0 {
+			step = 1
+		}
+		fmt.Printf("   R%-3d", ri)
+		for i := 0; i < len(s); i += step {
+			fmt.Printf(" %5.1f", s[i]*100)
+		}
+		fmt.Println()
+	}
+}
+
+func fig3(scale experiments.Scale) {
+	header("Fig 3: NoC Buffer Utilization CDF (Raytrace)")
+	res, err := experiments.RunFig3(scale)
+	if err != nil {
+		fatalf("fig3: %v", err)
+	}
+	fmt.Printf("cycles at zero buffer occupancy: %5.2f%%\n", res.ZeroOccupancyPct)
+	fmt.Printf("99th percentile occupancy:       %5.2f%% of capacity\n", res.P99OccupancyPct)
+	fmt.Println("CDF (occupancy% -> cumulative probability):")
+	for _, pt := range res.Run.BufferCDF {
+		fmt.Printf("  <=%5.1f%% : %7.5f\n", pt.Value*100, pt.Prob)
+	}
+}
+
+func fig1(benches []*traffic.Profile, scale experiments.Scale) {
+	header("Fig 1: Normalized Execution Slowdown (%) wrt BiNoCHS")
+	res, err := experiments.RunFig1(benches, scale)
+	if err != nil {
+		fatalf("fig1: %v", err)
+	}
+	fmt.Printf("%-16s", "Benchmark")
+	for _, v := range res.Variants {
+		fmt.Printf(" %22s", v)
+	}
+	fmt.Println()
+	for _, row := range res.Rows {
+		fmt.Printf("%-16s", row.Benchmark)
+		for _, s := range row.SlowdownPct {
+			fmt.Printf(" %21.2f%%", s)
+		}
+		fmt.Println()
+	}
+	for _, v := range res.Variants {
+		fmt.Printf("%-26s mean %6.2f%%  max %6.2f%%\n", v, res.MeanSlowdown(v), res.MaxSlowdown(v))
+	}
+}
+
+func fig11(scale experiments.Scale, priority bool) {
+	header("Fig 11: LULESH Crossbar Usage with SPMV Kernel Co-Running")
+	r, err := experiments.RunCoRun(experiments.CoRunSpec{
+		Bench: traffic.LULESH(), Kernel: cpu.KernelSPMV,
+		Dims: experiments.DefaultKernelDims(), Width: 4, Height: 4,
+		Priority: priority, Scale: scale,
+	})
+	if err != nil {
+		fatalf("fig11: %v", err)
+	}
+	fmt.Printf("benchmark impact:   %+.3f%%\n", r.ImpactPct())
+	fmt.Printf("kernel runs:        %d (avg %.0f cycles, zero-load %d, slowdown %+.2f%%)\n",
+		r.KernelRuns, r.KernelCyclesAvg, r.ZeroLoadCycles, r.KernelSlowdownPct())
+	fmt.Printf("co-run median crossbar: %.2f%% (LULESH alone: ~Fig 2a-3)\n", r.XbarMedianPct)
+	fmt.Printf("tokens offloaded:   %d\n", r.Offloaded)
+	fmt.Println("co-run crossbar usage % per router over time:")
+	printSeries(r.XbarSeries, 12)
+}
+
+func fig12(benches []*traffic.Profile, scale experiments.Scale) {
+	header("Fig 12: Impact of SnackNoC Kernels on CMP Runtime (%)")
+	kernels := cpu.Kernels()
+	res, err := experiments.RunFig12(benches, kernels, experiments.DefaultKernelDims(), scale, []bool{false, true})
+	if err != nil {
+		fatalf("fig12: %v", err)
+	}
+	fmt.Printf("%-16s", "Benchmark")
+	for _, k := range kernels {
+		fmt.Printf(" %9s %9s", k, k+"+P")
+	}
+	fmt.Println()
+	for _, row := range res.Rows {
+		fmt.Printf("%-16s", row.Benchmark)
+		for _, k := range kernels {
+			for _, pri := range []bool{false, true} {
+				for _, c := range row.Cells {
+					if c.Kernel == k && c.Priority == pri {
+						fmt.Printf(" %+8.3f%%", c.ImpactPct)
+					}
+				}
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nworst impact without priority: %.3f%%\n", res.MaxImpact(false))
+	fmt.Printf("worst impact with priority:    %.3f%%\n", res.MaxImpact(true))
+	fmt.Printf("worst kernel slowdown:         %.2f%%\n", res.MaxKernelSlowdown())
+}
+
+func fig13(benches []*traffic.Profile, scale experiments.Scale) {
+	header("Fig 13: SGEMM Impact as Cores Scale (%)")
+	res, err := experiments.RunFig13(benches, experiments.DefaultKernelDims(), scale)
+	if err != nil {
+		fatalf("fig13: %v", err)
+	}
+	sizes := []int{16, 32, 64, 128}
+	fmt.Printf("%-16s", "Benchmark")
+	for _, n := range sizes {
+		fmt.Printf(" %7d", n)
+	}
+	fmt.Println(" (cores & RCUs)")
+	for _, b := range benches {
+		fmt.Printf("%-16s", b.Name)
+		for _, n := range sizes {
+			for _, p := range res.Points {
+				if p.Benchmark == b.Name && p.Nodes == n {
+					fmt.Printf(" %+6.3f%%", p.ImpactPct)
+				}
+			}
+		}
+		fmt.Println()
+	}
+	for _, n := range sizes {
+		fmt.Printf("max impact at %3d nodes: %.3f%%\n", n, res.MaxImpact(n))
+	}
+}

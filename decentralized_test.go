@@ -1,0 +1,119 @@
+package snacknoc_test
+
+import (
+	"math"
+	"testing"
+
+	"snacknoc"
+)
+
+func TestDecentralizedConcurrentContexts(t *testing.T) {
+	p, err := snacknoc.NewDecentralizedPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CPMs() != 4 {
+		t.Fatalf("CPMs = %d, want 4 (mesh corners)", p.CPMs())
+	}
+
+	n := 60
+	ctxs := make([]*snacknoc.Context, 4)
+	outs := make([][]float64, 4)
+	wants := make([]float64, 4)
+	for i := range ctxs {
+		ctxs[i] = p.NewContext()
+		vals := make([]float64, n)
+		for j := range vals {
+			vals[j] = float64((i+1)*(j%5)) * 0.5
+			wants[i] += vals[j]
+		}
+		x, err := ctxs[i].Input(vals, 1, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := ctxs[i].Reduce(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = make([]float64, 1)
+		if err := ctxs[i].GetValue(r, outs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := p.ExecuteConcurrent(ctxs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ctxs {
+		if math.Abs(outs[i][0]-wants[i]) > 0.01 {
+			t.Errorf("context %d = %v, want %v", i, outs[i][0], wants[i])
+		}
+		if stats[i].Cycles <= 0 || stats[i].Graphs != 1 {
+			t.Errorf("context %d stats %+v", i, stats[i])
+		}
+	}
+}
+
+func TestDecentralizedBeatsSerialLatency(t *testing.T) {
+	// Four identical reductions: executing them concurrently on four
+	// CPMs should take well under four times one kernel's latency.
+	build := func(ctx *snacknoc.Context) []float64 {
+		n := 2000
+		vals := make([]float64, n)
+		for j := range vals {
+			vals[j] = 1
+		}
+		x, _ := ctx.Input(vals, 1, n)
+		r, _ := ctx.Reduce(x)
+		out := make([]float64, 1)
+		ctx.GetValue(r, out)
+		return out
+	}
+
+	single, _ := snacknoc.NewPlatform()
+	sctx := single.NewContext()
+	sout := build(sctx)
+	sStats, err := single.Execute(sctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sout[0] != 2000 {
+		t.Fatalf("single result %v", sout[0])
+	}
+
+	dp, _ := snacknoc.NewDecentralizedPlatform()
+	ctxs := make([]*snacknoc.Context, 4)
+	outs := make([][]float64, 4)
+	for i := range ctxs {
+		ctxs[i] = dp.NewContext()
+		outs[i] = build(ctxs[i])
+	}
+	start := dp.Cycle()
+	if _, err := dp.ExecuteConcurrent(ctxs...); err != nil {
+		t.Fatal(err)
+	}
+	wall := dp.Cycle() - start
+	for i := range outs {
+		if outs[i][0] != 2000 {
+			t.Fatalf("concurrent result %d = %v", i, outs[i][0])
+		}
+	}
+	t.Logf("one kernel: %d cycles; four concurrent kernels: %d cycles wall", sStats.Cycles, wall)
+	if wall > sStats.Cycles*3 {
+		t.Errorf("4 concurrent kernels took %d cycles vs %d for one — no issue parallelism", wall, sStats.Cycles)
+	}
+}
+
+func TestDecentralizedRejectsTooManyContexts(t *testing.T) {
+	p, _ := snacknoc.NewDecentralizedPlatform()
+	ctxs := make([]*snacknoc.Context, 5)
+	for i := range ctxs {
+		ctxs[i] = p.NewContext()
+		x, _ := ctxs[i].Input([]float64{1, 2}, 1, 2)
+		r, _ := ctxs[i].Reduce(x)
+		ctxs[i].GetValue(r, make([]float64, 1))
+	}
+	if _, err := p.ExecuteConcurrent(ctxs...); err == nil {
+		t.Fatal("5 contexts on 4 CPMs accepted")
+	}
+}

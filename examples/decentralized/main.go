@@ -1,0 +1,98 @@
+// Decentralized: the paper's §VII future-work proposal, implemented.
+//
+// The evaluated SnackNoC has a single Central Packet Manager whose
+// one-flit-per-cycle issue rate bounds every kernel ("the latency and
+// instruction issue time degrade due to the bottleneck of a single
+// CPM"). The proposed fix is decentralization: "a CPM would be placed
+// within each memory controller module operating in parallel."
+//
+// This example builds that platform — four CPMs at the mesh corners,
+// each with its own DDR3 channel — and runs four reduction kernels
+// concurrently, one per manager, on disjoint RCU partitions. Compare the
+// wall-clock cycles against the same four kernels executed back-to-back
+// through a single CPM.
+//
+//	go run ./examples/decentralized
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snacknoc"
+)
+
+const n = 4000
+
+func buildReduce(ctx *snacknoc.Context, scale float64) ([]float64, float64) {
+	vals := make([]float64, n)
+	want := 0.0
+	for j := range vals {
+		// Keep sums inside the Q16.16 integer range (|v| < 32768): the
+		// RCU datapath wraps on overflow exactly like 32-bit hardware.
+		vals[j] = scale * float64(j%7) * 0.125
+		want += vals[j]
+	}
+	x, err := ctx.Input(vals, 1, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := ctx.Reduce(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := make([]float64, 1)
+	if err := ctx.GetValue(r, out); err != nil {
+		log.Fatal(err)
+	}
+	return out, want
+}
+
+func main() {
+	// Baseline: one CPM, four kernels in sequence.
+	single, err := snacknoc.NewPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	serialStart := single.Cycle()
+	for i := 0; i < 4; i++ {
+		ctx := single.NewContext()
+		out, want := buildReduce(ctx, float64(i+1))
+		if _, err := single.Execute(ctx); err != nil {
+			log.Fatal(err)
+		}
+		if out[0] != want {
+			log.Fatalf("serial kernel %d: got %v want %v", i, out[0], want)
+		}
+	}
+	serial := single.Cycle() - serialStart
+
+	// Decentralized: four CPMs at the corners, four kernels at once.
+	dp, err := snacknoc.NewDecentralizedPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctxs := make([]*snacknoc.Context, 4)
+	outs := make([][]float64, 4)
+	wants := make([]float64, 4)
+	for i := range ctxs {
+		ctxs[i] = dp.NewContext()
+		outs[i], wants[i] = buildReduce(ctxs[i], float64(i+1))
+	}
+	concStart := dp.Cycle()
+	if _, err := dp.ExecuteConcurrent(ctxs...); err != nil {
+		log.Fatal(err)
+	}
+	conc := dp.Cycle() - concStart
+	for i := range outs {
+		if outs[i][0] != wants[i] {
+			log.Fatalf("concurrent kernel %d: got %v want %v", i, outs[i][0], wants[i])
+		}
+	}
+
+	fmt.Printf("four %d-element reductions, all results verified\n", n)
+	fmt.Printf("single CPM, back-to-back:     %6d cycles\n", serial)
+	fmt.Printf("four corner CPMs, concurrent: %6d cycles\n", conc)
+	fmt.Printf("decentralization speedup:     %.2fx (paper §VII's motivation)\n",
+		float64(serial)/float64(conc))
+}

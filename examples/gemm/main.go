@@ -1,0 +1,91 @@
+// GEMM: the paper's Fig 8 running example, D = alpha*A*B + C.
+//
+// This example shows the producer-consumer dataflow model at work: the
+// intermediate products A*B and alpha*(A*B) never leave the
+// communication layer. Each element of A*B is accumulated inside one
+// RCU's accumulator register, emitted as a transient data token that
+// rides the NoC's loop route, captured by the scaling multiply, and the
+// scaled value is captured in turn by the final addition — only D's
+// elements travel back to memory through the Central Packet Manager.
+//
+//	go run ./examples/gemm
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"snacknoc"
+)
+
+const n = 12
+
+func main() {
+	platform, err := snacknoc.NewPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := platform.NewContext()
+	ctx.SetName("gemm")
+
+	av := make([]float64, n*n)
+	bv := make([]float64, n*n)
+	cv := make([]float64, n*n)
+	for i := range av {
+		av[i] = float64(i%7)*0.5 - 1
+		bv[i] = float64((i+3)%5) * 0.25
+		cv[i] = float64(i % 3)
+	}
+	const alpha = 1.5
+
+	a, _ := ctx.Input(av, n, n)
+	b, _ := ctx.Input(bv, n, n)
+	c, _ := ctx.Input(cv, n, n)
+	ab, err := ctx.MatMul(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scaled, err := ctx.Scale(ctx.Scalar(alpha), ab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := ctx.Add(scaled, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out := make([]float64, n*n)
+	if err := ctx.GetValue(d, out); err != nil {
+		log.Fatal(err)
+	}
+	stats, err := platform.Execute(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify against a straightforward host-side computation.
+	maxErr := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			for k := 0; k < n; k++ {
+				acc += av[i*n+k] * bv[k*n+j]
+			}
+			want := alpha*acc + cv[i*n+j]
+			if e := math.Abs(out[i*n+j] - want); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+
+	fmt.Printf("D = %.1f*A*B + C for %dx%d matrices\n", alpha, n, n)
+	fmt.Printf("kernel latency:        %d NoC cycles\n", stats.Cycles)
+	fmt.Printf("instruction flits:     %d\n", stats.Instructions)
+	fmt.Printf("transient captures:    %d (intermediates consumed in-network)\n", stats.TokensCaptured)
+	fmt.Printf("max fixed-point error: %.5f\n", maxErr)
+	if maxErr > 0.01 {
+		log.Fatal("result mismatch beyond Q16.16 tolerance")
+	}
+	fmt.Println("result verified against host computation")
+}

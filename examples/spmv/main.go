@@ -1,0 +1,96 @@
+// SpMV: sparse matrix-vector multiplication, the paper's most
+// NoC-intensive kernel.
+//
+// The dense vector's elements are injected by the Central Packet Manager
+// as transient data tokens with one dependent per referencing row — the
+// liveness lookahead of §IV-B1. The tokens then live *on the network
+// itself*, circulating the static loop route until every row's
+// multiply-accumulate chain has captured them (§III-E). This example
+// prints how hard that mechanism worked.
+//
+//	go run ./examples/spmv
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"snacknoc"
+)
+
+const (
+	dim     = 64
+	density = 0.30 // the paper evaluates "70% sparsity"
+)
+
+func main() {
+	platform, err := snacknoc.NewPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := platform.NewContext()
+	ctx.SetName("spmv")
+
+	// Deterministic pseudo-random CSR matrix.
+	rng := uint64(2020)
+	next := func() float64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return float64(rng>>40) / float64(1<<24)
+	}
+	a := snacknoc.CSR{Rows: dim, Cols: dim, RowPtr: make([]int, dim+1)}
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			if next() < density {
+				a.ColIdx = append(a.ColIdx, j)
+				a.Val = append(a.Val, next()*4-2)
+			}
+		}
+		a.RowPtr[i+1] = len(a.Val)
+	}
+	xv := make([]float64, dim)
+	for i := range xv {
+		xv[i] = next()*2 - 1
+	}
+
+	x, _ := ctx.Input(xv, dim, 1)
+	y, err := ctx.SpMV(a, x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := make([]float64, dim)
+	if err := ctx.GetValue(y, out); err != nil {
+		log.Fatal(err)
+	}
+	stats, err := platform.Execute(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Host-side reference.
+	maxErr := 0.0
+	for i := 0; i < dim; i++ {
+		acc := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			acc += a.Val[k] * xv[a.ColIdx[k]]
+		}
+		if e := math.Abs(out[i] - acc); e > maxErr {
+			maxErr = e
+		}
+	}
+
+	nnz := len(a.Val)
+	fmt.Printf("y = A*x, A is %dx%d with %d stored values (%.0f%% dense)\n",
+		dim, dim, nnz, 100*float64(nnz)/float64(dim*dim))
+	fmt.Printf("kernel latency:     %d NoC cycles (%.2f cycles/nnz)\n",
+		stats.Cycles, float64(stats.Cycles)/float64(nnz))
+	fmt.Printf("instruction flits:  %d\n", stats.Instructions)
+	fmt.Printf("token captures:     %d (vector reuse served from the NoC)\n", stats.TokensCaptured)
+	fmt.Printf("tokens offloaded:   %d (CPM overflow management)\n", stats.TokensOffloaded)
+	fmt.Printf("congested cycles:   %d (ALO detector holds)\n", stats.CongestedCycles)
+	fmt.Printf("max error:          %.5f\n", maxErr)
+	if maxErr > 0.02 {
+		log.Fatal("result mismatch beyond fixed-point tolerance")
+	}
+	fmt.Println("result verified against host computation")
+}

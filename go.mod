@@ -1,0 +1,3 @@
+module snacknoc
+
+go 1.22

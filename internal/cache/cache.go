@@ -1,0 +1,168 @@
+// Package cache implements the CMP memory-hierarchy substrate that
+// generates the NoC traffic the paper measures slack against: private L1
+// caches, a shared distributed L2 with a directory-style protocol, and
+// memory nodes at the mesh corners (Table IV: "2D 4x4 Mesh w. Corner
+// MemCntrls").
+//
+// The protocol is a home-serialized MSI variant: read misses fetch from
+// the block's home L2 bank, write misses invalidate sharers or recall the
+// modified owner, and dirty evictions write back to the home. Data values
+// are not carried (this is a timing substrate); what matters is that the
+// message sequences — control requests, data responses, recalls,
+// invalidations, writebacks — put the same kinds of load on the same
+// links and crossbars as the gem5 Ruby protocol the paper used.
+package cache
+
+import "fmt"
+
+// BlockBytes is the cache line size used throughout the platform.
+const BlockBytes = 64
+
+// line is one cache line's bookkeeping.
+type line struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	writable bool
+	lastUse  int64
+}
+
+// Cache is a set-associative, write-back, LRU cache tag store.
+type Cache struct {
+	sets  int
+	ways  int
+	lines []line // sets*ways
+	tick  int64  // LRU clock
+
+	hits, misses int64
+}
+
+// NewCache builds a cache of the given total size and associativity with
+// 64 B blocks. Size must divide evenly into sets.
+func NewCache(sizeBytes, ways int) *Cache {
+	blocks := sizeBytes / BlockBytes
+	if blocks <= 0 || ways <= 0 || blocks%ways != 0 {
+		panic(fmt.Sprintf("cache: bad geometry size=%d ways=%d", sizeBytes, ways))
+	}
+	sets := blocks / ways
+	return &Cache{sets: sets, ways: ways, lines: make([]line, blocks)}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) setOf(block uint64) int { return int(block % uint64(c.sets)) }
+
+func (c *Cache) find(block uint64) *line {
+	set := c.setOf(block)
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[set*c.ways+i]
+		if l.valid && l.tag == block {
+			return l
+		}
+	}
+	return nil
+}
+
+// Lookup probes for a block. On a hit it refreshes LRU state and, when
+// write is true and the line is writable, sets the dirty bit. It reports
+// the hit and whether write permission was present.
+func (c *Cache) Lookup(block uint64, write bool) (hit, writable bool) {
+	c.tick++
+	l := c.find(block)
+	if l == nil {
+		c.misses++
+		return false, false
+	}
+	if write && !l.writable {
+		// Present but read-only: an upgrade is required; count as a miss
+		// for the controller's purposes but report presence.
+		c.misses++
+		return false, false
+	}
+	c.hits++
+	l.lastUse = c.tick
+	if write {
+		l.dirty = true
+	}
+	return true, l.writable
+}
+
+// Contains reports whether the block is present, without LRU side effects.
+func (c *Cache) Contains(block uint64) bool { return c.find(block) != nil }
+
+// Victim describes an evicted line.
+type Victim struct {
+	Block uint64
+	Dirty bool
+}
+
+// Fill installs a block with the given write permission, returning the
+// evicted victim if a valid line was displaced.
+func (c *Cache) Fill(block uint64, writable, dirty bool) (Victim, bool) {
+	c.tick++
+	if l := c.find(block); l != nil {
+		l.writable = l.writable || writable
+		l.dirty = l.dirty || dirty
+		l.lastUse = c.tick
+		return Victim{}, false
+	}
+	set := c.setOf(block)
+	var lru *line
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[set*c.ways+i]
+		if !l.valid {
+			lru = l
+			break
+		}
+		if lru == nil || l.lastUse < lru.lastUse {
+			lru = l
+		}
+	}
+	var v Victim
+	evicted := lru.valid
+	if evicted {
+		v = Victim{Block: lru.tag, Dirty: lru.dirty}
+	}
+	*lru = line{tag: block, valid: true, dirty: dirty, writable: writable, lastUse: c.tick}
+	return v, evicted
+}
+
+// Invalidate removes a block, reporting whether it was present and dirty.
+func (c *Cache) Invalidate(block uint64) (present, dirty bool) {
+	l := c.find(block)
+	if l == nil {
+		return false, false
+	}
+	d := l.dirty
+	l.valid = false
+	return true, d
+}
+
+// Downgrade strips write permission from a block (recall to shared),
+// reporting whether it was present and dirty before the downgrade.
+func (c *Cache) Downgrade(block uint64) (present, dirty bool) {
+	l := c.find(block)
+	if l == nil {
+		return false, false
+	}
+	d := l.dirty
+	l.dirty = false
+	l.writable = false
+	return true, d
+}
+
+// HitRate returns hits/(hits+misses), 0 before any lookup.
+func (c *Cache) HitRate() float64 {
+	t := c.hits + c.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(t)
+}
+
+// Accesses returns the number of lookups performed.
+func (c *Cache) Accesses() int64 { return c.hits + c.misses }

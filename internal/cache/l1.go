@@ -1,0 +1,170 @@
+package cache
+
+import (
+	"fmt"
+
+	"snacknoc/internal/noc"
+	"snacknoc/internal/stats"
+)
+
+// mshr tracks one outstanding L1 miss.
+type mshr struct {
+	write   bool
+	waiters []func(cycle int64)
+	// retry holds conflicting accesses (e.g. a write arriving while a
+	// read miss is outstanding) re-issued once the fill completes.
+	retry []retryReq
+}
+
+type retryReq struct {
+	write bool
+	done  func(cycle int64)
+}
+
+// L1 is a private per-core cache controller. The core calls Access; the
+// controller resolves hits locally after L1HitLat cycles and misses via
+// the block's home L2 bank over the NoC.
+type L1 struct {
+	sys   *System
+	node  int
+	cache *Cache
+	mshrs map[uint64]*mshr
+
+	hits     stats.Counter
+	misses   stats.Counter
+	latSum   int64
+	latCount int64
+}
+
+func newL1(sys *System, node int) *L1 {
+	return &L1{
+		sys:   sys,
+		node:  node,
+		cache: NewCache(sys.cfg.L1Bytes, sys.cfg.L1Ways),
+		mshrs: make(map[uint64]*mshr),
+	}
+}
+
+// Cache exposes the tag store for inspection in tests and reports.
+func (l *L1) Cache() *Cache { return l.cache }
+
+// Outstanding returns the number of misses in flight.
+func (l *L1) Outstanding() int { return len(l.mshrs) }
+
+// AvgMissLatency returns the mean L1-miss service time in cycles.
+func (l *L1) AvgMissLatency() float64 {
+	if l.latCount == 0 {
+		return 0
+	}
+	return float64(l.latSum) / float64(l.latCount)
+}
+
+// Hits returns the L1 hit count.
+func (l *L1) Hits() int64 { return l.hits.Value() }
+
+// Misses returns the L1 miss count (upgrades included).
+func (l *L1) Misses() int64 { return l.misses.Value() }
+
+// Access issues one memory operation for the given cache block. done is
+// invoked when the operation completes (hit latency later on a hit, after
+// the fill on a miss). It reports whether the access hit.
+func (l *L1) Access(block uint64, write bool, done func(cycle int64)) bool {
+	if hit, _ := l.cache.Lookup(block, write); hit {
+		l.hits.Inc()
+		if done != nil {
+			l.sys.Eng.ScheduleAfter(l.sys.cfg.L1HitLat, func() {
+				done(l.sys.Eng.Cycle())
+			})
+		}
+		return true
+	}
+	return l.missPath(block, write, done)
+}
+
+// AccessFast is the core-facing fast path: hits complete inline with no
+// event scheduling (the pipeline hides L1 hit latency), and onMiss fires
+// only when a miss resolves. It reports whether the access hit.
+func (l *L1) AccessFast(block uint64, write bool, onMiss func(cycle int64)) bool {
+	if hit, _ := l.cache.Lookup(block, write); hit {
+		l.hits.Inc()
+		return true
+	}
+	return l.missPath(block, write, onMiss)
+}
+
+func (l *L1) missPath(block uint64, write bool, done func(cycle int64)) bool {
+	l.misses.Inc()
+	start := l.sys.Eng.Cycle()
+	wrapped := func(cycle int64) {
+		l.latSum += cycle - start
+		l.latCount++
+		if done != nil {
+			done(cycle)
+		}
+	}
+	if m, ok := l.mshrs[block]; ok {
+		if write && !m.write {
+			// A write cannot merge into a read miss: it needs exclusive
+			// permission. Park it and re-issue after the fill.
+			m.retry = append(m.retry, retryReq{write: true, done: wrapped})
+		} else {
+			m.waiters = append(m.waiters, wrapped)
+		}
+		return false
+	}
+	m := &mshr{write: write, waiters: []func(int64){wrapped}}
+	l.mshrs[block] = m
+	t := GetS
+	if write {
+		t = GetX
+	}
+	send(l.sys.Net, l.nodeID(), l.sys.Home(block),
+		&Msg{Type: t, To: RoleL2, Block: block, Req: l.nodeID()}, start)
+	return false
+}
+
+// handle processes protocol messages addressed to this L1.
+func (l *L1) handle(m *Msg, cycle int64) {
+	switch m.Type {
+	case DataResp, DataRespX:
+		msh, ok := l.mshrs[m.Block]
+		if !ok {
+			panic(fmt.Sprintf("l1 %d: fill for block %d with no MSHR", l.node, m.Block))
+		}
+		delete(l.mshrs, m.Block)
+		writable := m.Type == DataRespX
+		if v, evicted := l.cache.Fill(m.Block, writable, msh.write); evicted && v.Dirty {
+			send(l.sys.Net, l.nodeID(), l.sys.Home(v.Block),
+				&Msg{Type: PutData, To: RoleL2, Block: v.Block, Req: l.nodeID()}, cycle)
+		}
+		for _, w := range msh.waiters {
+			w(cycle)
+		}
+		for _, r := range msh.retry {
+			r := r
+			l.sys.Eng.ScheduleAfter(1, func() {
+				l.Access(m.Block, r.write, r.done)
+			})
+		}
+
+	case Recall:
+		_, dirty := l.cache.Downgrade(m.Block)
+		send(l.sys.Net, l.nodeID(), l.sys.Home(m.Block),
+			&Msg{Type: RecallAck, To: RoleL2, Block: m.Block, Req: m.Req, WithData: dirty}, cycle)
+
+	case RecallInv:
+		_, dirty := l.cache.Invalidate(m.Block)
+		send(l.sys.Net, l.nodeID(), l.sys.Home(m.Block),
+			&Msg{Type: RecallAck, To: RoleL2, Block: m.Block, Req: m.Req, WithData: dirty}, cycle)
+
+	case Inv:
+		l.cache.Invalidate(m.Block)
+		send(l.sys.Net, l.nodeID(), l.sys.Home(m.Block),
+			&Msg{Type: InvAck, To: RoleL2, Block: m.Block, Req: m.Req}, cycle)
+
+	default:
+		panic(fmt.Sprintf("l1 %d: unexpected message %s", l.node, m.Type))
+	}
+}
+
+func (l *L1) nodeID() noc.NodeID { return noc.NodeID(l.node) }

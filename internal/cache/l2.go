@@ -1,0 +1,241 @@
+package cache
+
+import (
+	"fmt"
+
+	"snacknoc/internal/noc"
+	"snacknoc/internal/stats"
+)
+
+// dirEntry is the directory state for one block at its home bank.
+type dirEntry struct {
+	sharers  nodeSet
+	owner    noc.NodeID
+	hasOwner bool
+}
+
+// l2txn is the in-flight transaction for one block; the home bank
+// serializes transactions per block, which keeps the protocol race-free.
+type l2txn struct {
+	req        *Msg
+	needAcks   int
+	waitRecall bool
+	waitMem    bool
+	wentToMem  bool
+}
+
+// L2Bank is one slice of the shared distributed L2 plus the directory for
+// the blocks homed at this node.
+type L2Bank struct {
+	sys   *System
+	node  noc.NodeID
+	cache *Cache
+	dir   map[uint64]*dirEntry
+	txns  map[uint64]*l2txn
+	queue map[uint64][]*Msg
+
+	hits, misses stats.Counter
+	recalls      stats.Counter
+	invs         stats.Counter
+}
+
+func newL2Bank(sys *System, node noc.NodeID) *L2Bank {
+	return &L2Bank{
+		sys:   sys,
+		node:  node,
+		cache: NewCache(sys.cfg.L2BankBytes, sys.cfg.L2Ways),
+		dir:   make(map[uint64]*dirEntry),
+		txns:  make(map[uint64]*l2txn),
+		queue: make(map[uint64][]*Msg),
+	}
+}
+
+// Cache exposes the bank's tag store.
+func (b *L2Bank) Cache() *Cache { return b.cache }
+
+// Hits returns L2 data-array hits observed while serving transactions.
+func (b *L2Bank) Hits() int64 { return b.hits.Value() }
+
+// Misses returns L2 misses that went to memory.
+func (b *L2Bank) Misses() int64 { return b.misses.Value() }
+
+func (b *L2Bank) entry(block uint64) *dirEntry {
+	e, ok := b.dir[block]
+	if !ok {
+		e = &dirEntry{}
+		b.dir[block] = e
+	}
+	return e
+}
+
+// handle processes protocol messages addressed to this bank.
+func (b *L2Bank) handle(m *Msg, cycle int64) {
+	switch m.Type {
+	case GetS, GetX:
+		if _, busy := b.txns[m.Block]; busy {
+			b.queue[m.Block] = append(b.queue[m.Block], m)
+			return
+		}
+		b.start(m)
+
+	case PutData:
+		e := b.entry(m.Block)
+		if t, ok := b.txns[m.Block]; ok && t.waitRecall && e.hasOwner && e.owner == m.From {
+			// The owner's voluntary writeback crossed our recall; accept
+			// it as the recall's answer.
+			b.fill(m.Block, true, cycle)
+			e.hasOwner = false
+			t.waitRecall = false
+			b.advance(m.Block, cycle)
+			return
+		}
+		if e.hasOwner && e.owner == m.From {
+			e.hasOwner = false
+		}
+		b.fill(m.Block, true, cycle)
+
+	case RecallAck:
+		t, ok := b.txns[m.Block]
+		if !ok || !t.waitRecall {
+			// A stale ack from a recall answered by a crossing PutData.
+			return
+		}
+		if m.WithData {
+			b.fill(m.Block, true, cycle)
+		}
+		t.waitRecall = false
+		// Ownership ends with the recall either way; a GetS recall leaves
+		// the previous owner as a sharer, a GetX recall does not.
+		e := b.entry(m.Block)
+		e.hasOwner = false
+		if t.req.Type == GetS {
+			e.sharers.add(m.From)
+		}
+		b.advance(m.Block, cycle)
+
+	case InvAck:
+		t, ok := b.txns[m.Block]
+		if !ok || t.needAcks == 0 {
+			return
+		}
+		t.needAcks--
+		b.advance(m.Block, cycle)
+
+	case MemResp:
+		t, ok := b.txns[m.Block]
+		if !ok || !t.waitMem {
+			return
+		}
+		t.waitMem = false
+		b.fill(m.Block, false, cycle)
+		b.advance(m.Block, cycle)
+
+	default:
+		panic(fmt.Sprintf("l2 %d: unexpected message %s", b.node, m.Type))
+	}
+}
+
+// start begins a transaction after the bank's lookup latency.
+func (b *L2Bank) start(m *Msg) {
+	b.txns[m.Block] = &l2txn{req: m}
+	block := m.Block
+	b.sys.Eng.ScheduleAfter(b.sys.cfg.L2Lat, func() {
+		b.advance(block, b.sys.Eng.Cycle())
+	})
+}
+
+// advance drives the transaction state machine for a block until it
+// blocks on a remote event or completes.
+func (b *L2Bank) advance(block uint64, cycle int64) {
+	t, ok := b.txns[block]
+	if !ok || t.waitRecall || t.waitMem || t.needAcks > 0 {
+		return
+	}
+	e := b.entry(block)
+	req := t.req
+
+	// Step 1: strip conflicting copies.
+	if e.hasOwner && e.owner != req.Req {
+		kind := Recall
+		if req.Type == GetX {
+			kind = RecallInv
+		}
+		b.recalls.Inc()
+		t.waitRecall = true
+		send(b.sys.Net, b.node, e.owner,
+			&Msg{Type: kind, To: RoleL1, Block: block, Req: req.Req}, cycle)
+		return
+	}
+	if req.Type == GetX {
+		pending := 0
+		e.sharers.forEach(func(s noc.NodeID) {
+			if s == req.Req {
+				return
+			}
+			b.invs.Inc()
+			pending++
+			send(b.sys.Net, b.node, s,
+				&Msg{Type: Inv, To: RoleL1, Block: block, Req: req.Req}, cycle)
+			e.sharers.del(s)
+		})
+		if pending > 0 {
+			t.needAcks = pending
+			return
+		}
+	}
+
+	// Step 2: source the data.
+	if !b.cache.Contains(block) {
+		b.misses.Inc()
+		t.waitMem = true
+		t.wentToMem = true
+		send(b.sys.Net, b.node, b.sys.MemFor(block),
+			&Msg{Type: MemRead, To: RoleMem, Block: block, Req: req.Req}, cycle)
+		return
+	}
+	if !t.wentToMem {
+		b.hits.Inc()
+	}
+	b.cache.Lookup(block, false) // refresh LRU
+
+	// Step 3: respond and update the directory.
+	if req.Type == GetS {
+		e.sharers.add(req.Req)
+		if e.hasOwner && e.owner == req.Req {
+			e.hasOwner = false
+		}
+		send(b.sys.Net, b.node, req.Req,
+			&Msg{Type: DataResp, To: RoleL1, Block: block, Req: req.Req}, cycle)
+	} else {
+		e.owner, e.hasOwner = req.Req, true
+		e.sharers.clear()
+		send(b.sys.Net, b.node, req.Req,
+			&Msg{Type: DataRespX, To: RoleL1, Block: block, Req: req.Req}, cycle)
+	}
+	b.complete(block)
+}
+
+// complete retires the active transaction and starts the next queued one.
+func (b *L2Bank) complete(block uint64) {
+	delete(b.txns, block)
+	q := b.queue[block]
+	if len(q) == 0 {
+		delete(b.queue, block)
+		return
+	}
+	next := q[0]
+	if len(q) == 1 {
+		delete(b.queue, block)
+	} else {
+		b.queue[block] = q[1:]
+	}
+	b.start(next)
+}
+
+// fill installs a block in the data array, writing back a dirty victim.
+func (b *L2Bank) fill(block uint64, dirty bool, cycle int64) {
+	if v, evicted := b.cache.Fill(block, true, dirty); evicted && v.Dirty {
+		send(b.sys.Net, b.node, b.sys.MemFor(v.Block),
+			&Msg{Type: MemWrite, To: RoleMem, Block: v.Block, Req: b.node}, cycle)
+	}
+}

@@ -1,0 +1,41 @@
+package cache
+
+import (
+	"fmt"
+
+	"snacknoc/internal/mem"
+	"snacknoc/internal/noc"
+)
+
+// MemNode bridges the NoC to a mem.Controller at a memory-controller
+// node (the mesh corners in the Table IV platform).
+type MemNode struct {
+	sys  *System
+	node noc.NodeID
+	ctrl *mem.Controller
+}
+
+func newMemNode(sys *System, node noc.NodeID, ctrl *mem.Controller) *MemNode {
+	return &MemNode{sys: sys, node: node, ctrl: ctrl}
+}
+
+// Controller returns the underlying DRAM model (shared with a co-located
+// CPM when the SnackNoC platform is attached).
+func (m *MemNode) Controller() *mem.Controller { return m.ctrl }
+
+// handle services memory protocol messages.
+func (m *MemNode) handle(msg *Msg, cycle int64) {
+	addr := msg.Block * BlockBytes
+	switch msg.Type {
+	case MemRead:
+		from := msg.From
+		m.ctrl.Access(addr, false, func(at int64) {
+			send(m.sys.Net, m.node, from,
+				&Msg{Type: MemResp, To: RoleL2, Block: msg.Block, Req: msg.Req}, at)
+		})
+	case MemWrite:
+		m.ctrl.Access(addr, true, nil)
+	default:
+		panic(fmt.Sprintf("mem %d: unexpected message %s", m.node, msg.Type))
+	}
+}

@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"fmt"
+
+	"snacknoc/internal/noc"
+)
+
+// Role identifies which controller at a node a message targets; every
+// node's hub dispatches on it.
+type Role int
+
+// Controller roles at a node.
+const (
+	RoleL1 Role = iota
+	RoleL2
+	RoleMem
+)
+
+// MsgType enumerates the protocol messages.
+type MsgType int
+
+// Protocol message types.
+const (
+	// L1 -> home L2
+	GetS    MsgType = iota // read miss: request shared copy
+	GetX                   // write miss: request exclusive copy
+	PutData                // dirty eviction writeback
+
+	// home L2 -> L1
+	DataResp  // fill with read-only permission
+	DataRespX // fill with write permission
+	Recall    // downgrade modified owner to shared, return data
+	RecallInv // invalidate modified owner, return data
+	Inv       // invalidate shared copy
+
+	// L1 -> home L2 (replies)
+	RecallAck // recall complete (data rides along when it was dirty)
+	InvAck    // invalidation complete
+
+	// L2 <-> memory node
+	MemRead
+	MemWrite
+	MemResp
+)
+
+// String names the message type for traces.
+func (t MsgType) String() string {
+	names := [...]string{"GetS", "GetX", "PutData", "DataResp", "DataRespX",
+		"Recall", "RecallInv", "Inv", "RecallAck", "InvAck",
+		"MemRead", "MemWrite", "MemResp"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", int(t))
+}
+
+// isData reports whether the message carries a cache block.
+func (t MsgType) isData() bool {
+	switch t {
+	case PutData, DataResp, DataRespX, MemWrite, MemResp:
+		return true
+	}
+	return false
+}
+
+// Msg is one coherence/memory protocol message.
+type Msg struct {
+	Type  MsgType
+	To    Role
+	Block uint64
+	// Req is the L1 node whose transaction this message belongs to.
+	Req noc.NodeID
+	// From is the sending node (needed for acks and writeback matching).
+	From noc.NodeID
+	// WithData marks a RecallAck that carries the dirty block.
+	WithData bool
+}
+
+// bytes returns the on-network size of the message.
+func (m *Msg) bytes() int {
+	if m.Type.isData() || m.WithData {
+		return noc.DataBytes
+	}
+	return noc.CtrlBytes
+}
+
+// vnet places control messages on the request vnet and data-bearing
+// messages on the response vnet.
+func (m *Msg) vnet() int {
+	if m.Type.isData() || m.WithData {
+		return noc.VNetResp
+	}
+	return noc.VNetReq
+}
+
+// send injects the message into the NoC.
+func send(net *noc.Network, src, dst noc.NodeID, m *Msg, cycle int64) {
+	m.From = src
+	net.Inject(&noc.Packet{
+		Src:       src,
+		Dst:       dst,
+		VNet:      m.vnet(),
+		SizeBytes: m.bytes(),
+		Payload:   m,
+	}, cycle)
+}
+
+// Hub is the single noc.Client at a node; it dispatches delivered
+// messages to the controllers living there.
+type Hub struct {
+	L1  *L1
+	L2  *L2Bank
+	Mem *MemNode
+	// Extra receives any packet that is not a cache Msg (for example
+	// SnackNoC tokens delivered to the CPM co-located at this node).
+	Extra noc.Client
+}
+
+// Deliver implements noc.Client.
+func (h *Hub) Deliver(p *noc.Packet, cycle int64) {
+	m, ok := p.Payload.(*Msg)
+	if !ok {
+		if h.Extra != nil {
+			h.Extra.Deliver(p, cycle)
+			return
+		}
+		panic(fmt.Sprintf("cache: node hub got non-protocol packet %T with no extra client", p.Payload))
+	}
+	switch m.To {
+	case RoleL1:
+		h.L1.handle(m, cycle)
+	case RoleL2:
+		h.L2.handle(m, cycle)
+	case RoleMem:
+		h.Mem.handle(m, cycle)
+	default:
+		panic(fmt.Sprintf("cache: message to unknown role %d", m.To))
+	}
+}

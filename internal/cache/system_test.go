@@ -1,0 +1,268 @@
+package cache
+
+import (
+	"testing"
+
+	"snacknoc/internal/noc"
+	"snacknoc/internal/sim"
+)
+
+func newSystem(t *testing.T) (*sim.Engine, *System) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net, err := noc.New(eng, noc.BiNoCHS(4, 4))
+	if err != nil {
+		t.Fatalf("noc.New: %v", err)
+	}
+	sys, err := NewSystem(eng, net, DefaultSystemConfig())
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return eng, sys
+}
+
+// access issues one access from a node and waits for completion.
+func access(t *testing.T, eng *sim.Engine, sys *System, node int, block uint64, write bool) int64 {
+	t.Helper()
+	done := int64(-1)
+	sys.L1s[node].Access(block, write, func(cycle int64) { done = cycle })
+	if _, ok := eng.RunUntil(func() bool { return done >= 0 }, 100000); !ok {
+		t.Fatalf("access node=%d block=%d write=%v never completed", node, block, write)
+	}
+	return done
+}
+
+func TestReadMissFillsAndHits(t *testing.T) {
+	eng, sys := newSystem(t)
+	block := uint64(70) // homed at node 70%16=6
+	first := access(t, eng, sys, 2, block, false)
+	if first <= 0 {
+		t.Fatal("no completion cycle")
+	}
+	if !sys.L1s[2].Cache().Contains(block) {
+		t.Fatal("block not filled into L1")
+	}
+	start := eng.Cycle()
+	second := access(t, eng, sys, 2, block, false)
+	missLat := first
+	hitLat := second - start
+	if hitLat >= missLat/2 {
+		t.Fatalf("hit latency %d not much faster than miss %d", hitLat, missLat)
+	}
+	if sys.L1s[2].Hits() != 1 || sys.L1s[2].Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", sys.L1s[2].Hits(), sys.L1s[2].Misses())
+	}
+}
+
+func TestSecondReaderServedByL2(t *testing.T) {
+	eng, sys := newSystem(t)
+	block := uint64(70)
+	access(t, eng, sys, 2, block, false)
+	memBefore := memAccesses(sys)
+	access(t, eng, sys, 5, block, false)
+	if memAccesses(sys) != memBefore {
+		t.Fatal("second reader went to memory despite L2 copy")
+	}
+	if !sys.L1s[5].Cache().Contains(block) {
+		t.Fatal("block not filled into second L1")
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	eng, sys := newSystem(t)
+	block := uint64(70)
+	access(t, eng, sys, 2, block, false)
+	access(t, eng, sys, 5, block, false)
+	access(t, eng, sys, 9, block, true)
+	// Let the invalidation acks fully drain.
+	eng.Run(2000)
+	if sys.L1s[2].Cache().Contains(block) {
+		t.Fatal("sharer 2 still has the block after a remote write")
+	}
+	if sys.L1s[5].Cache().Contains(block) {
+		t.Fatal("sharer 5 still has the block after a remote write")
+	}
+	if !sys.L1s[9].Cache().Contains(block) {
+		t.Fatal("writer lost its block")
+	}
+	home := sys.L2s[sys.Home(block)]
+	if home.invs.Value() != 2 {
+		t.Fatalf("invalidations = %d, want 2", home.invs.Value())
+	}
+}
+
+func TestReadRecallsModifiedOwner(t *testing.T) {
+	eng, sys := newSystem(t)
+	block := uint64(71)
+	access(t, eng, sys, 3, block, true) // node 3 owns M copy
+	access(t, eng, sys, 8, block, false)
+	home := sys.L2s[sys.Home(block)]
+	if home.recalls.Value() != 1 {
+		t.Fatalf("recalls = %d, want 1", home.recalls.Value())
+	}
+	// The previous owner keeps a shared copy; write permission is gone.
+	if !sys.L1s[3].Cache().Contains(block) {
+		t.Fatal("previous owner lost its shared copy")
+	}
+	if hit, _ := sys.L1s[3].Cache().Lookup(block, true); hit {
+		t.Fatal("previous owner retained write permission")
+	}
+}
+
+func TestWriteRecallsAndInvalidatesOwner(t *testing.T) {
+	eng, sys := newSystem(t)
+	block := uint64(71)
+	access(t, eng, sys, 3, block, true)
+	access(t, eng, sys, 8, block, true)
+	eng.Run(2000)
+	if sys.L1s[3].Cache().Contains(block) {
+		t.Fatal("previous owner still has the block after RecallInv")
+	}
+	if hit, w := sys.L1s[8].Cache().Lookup(block, true); !hit || !w {
+		t.Fatal("new owner lacks write permission")
+	}
+}
+
+func TestUpgradeFromSharedToModified(t *testing.T) {
+	eng, sys := newSystem(t)
+	block := uint64(72)
+	access(t, eng, sys, 4, block, false)
+	// Write to the read-only line: must upgrade via GetX, then hit.
+	access(t, eng, sys, 4, block, true)
+	if sys.L1s[4].Misses() != 2 {
+		t.Fatalf("misses = %d, want 2 (cold + upgrade)", sys.L1s[4].Misses())
+	}
+	start := eng.Cycle()
+	end := access(t, eng, sys, 4, block, true)
+	if end-start > 5 {
+		t.Fatalf("write after upgrade took %d cycles, expected a local hit", end-start)
+	}
+}
+
+func TestMSHRMergesConcurrentReads(t *testing.T) {
+	eng, sys := newSystem(t)
+	block := uint64(73)
+	done := 0
+	sys.L1s[6].Access(block, false, func(int64) { done++ })
+	sys.L1s[6].Access(block, false, func(int64) { done++ })
+	sys.L1s[6].Access(block, false, func(int64) { done++ })
+	if sys.L1s[6].Outstanding() != 1 {
+		t.Fatalf("outstanding = %d, want 1 merged MSHR", sys.L1s[6].Outstanding())
+	}
+	eng.RunUntil(func() bool { return done == 3 }, 100000)
+	if done != 3 {
+		t.Fatalf("completed %d of 3 merged accesses", done)
+	}
+}
+
+func TestWriteAfterReadMissRetries(t *testing.T) {
+	eng, sys := newSystem(t)
+	block := uint64(74)
+	reads, writes := 0, 0
+	sys.L1s[6].Access(block, false, func(int64) { reads++ })
+	sys.L1s[6].Access(block, true, func(int64) { writes++ })
+	eng.RunUntil(func() bool { return reads == 1 && writes == 1 }, 100000)
+	if reads != 1 || writes != 1 {
+		t.Fatalf("reads=%d writes=%d, want 1/1", reads, writes)
+	}
+	if hit, w := sys.L1s[6].Cache().Lookup(block, true); !hit || !w {
+		t.Fatal("write permission missing after retried upgrade")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	eng, sys := newSystem(t)
+	// Fill one L1 set with dirty blocks, then overflow it. With 128 sets
+	// and 4 ways, blocks stride apart by 128 map to the same set.
+	node := 1
+	var blocks []uint64
+	for i := 0; i < 5; i++ {
+		blocks = append(blocks, uint64(11+128*i))
+	}
+	for _, b := range blocks {
+		access(t, eng, sys, node, b, true)
+	}
+	eng.Run(5000)
+	// The first block was evicted dirty; its home bank must now hold it.
+	if sys.L1s[node].Cache().Contains(blocks[0]) {
+		t.Fatal("set overflow did not evict the LRU block")
+	}
+	home := sys.L2s[sys.Home(blocks[0])]
+	if !home.Cache().Contains(blocks[0]) {
+		t.Fatal("writeback never reached the home L2 bank")
+	}
+}
+
+func TestSystemQuiescesAfterRandomStress(t *testing.T) {
+	eng, sys := newSystem(t)
+	rng := uint64(99)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	issued, completed := 0, 0
+	// Random reads and writes from all cores over a small shared block
+	// range to force recalls, invalidations, and MSHR merges.
+	for round := 0; round < 60; round++ {
+		for n := 0; n < 16; n++ {
+			if next(3) == 0 {
+				continue
+			}
+			issued++
+			sys.L1s[n].Access(uint64(next(96)), next(4) == 0, func(int64) { completed++ })
+		}
+		eng.Run(int64(5 + next(20)))
+	}
+	eng.RunUntil(func() bool { return completed == issued }, 500000)
+	if completed != issued {
+		t.Fatalf("completed %d of %d accesses; outstanding=%d",
+			completed, issued, sys.OutstandingMisses())
+	}
+	if sys.OutstandingMisses() != 0 {
+		t.Fatalf("MSHRs not drained: %d", sys.OutstandingMisses())
+	}
+}
+
+func TestHomeAndMemMapping(t *testing.T) {
+	_, sys := newSystem(t)
+	if sys.Home(70) != noc.NodeID(6) {
+		t.Fatalf("home(70) = %d, want 6", sys.Home(70))
+	}
+	corners := map[noc.NodeID]bool{0: true, 3: true, 12: true, 15: true}
+	for b := uint64(0); b < 4096; b += 17 {
+		if !corners[sys.MemFor(b)] {
+			t.Fatalf("MemFor(%d) = %d, not a corner", b, sys.MemFor(b))
+		}
+	}
+	seen := map[noc.NodeID]bool{}
+	for b := uint64(0); b < 1<<14; b++ {
+		seen[sys.MemFor(b)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("memory interleaving reached %d controllers, want 4", len(seen))
+	}
+}
+
+func TestHitRatesAggregate(t *testing.T) {
+	eng, sys := newSystem(t)
+	access(t, eng, sys, 0, 200, false)
+	access(t, eng, sys, 0, 200, false)
+	if hr := sys.L1HitRate(); hr != 0.5 {
+		t.Fatalf("L1 hit rate = %v, want 0.5", hr)
+	}
+	if sys.L2HitRate() != 0 {
+		t.Fatalf("L2 hit rate = %v, want 0 (single cold miss)", sys.L2HitRate())
+	}
+	access(t, eng, sys, 1, 200, false) // L2 now has it
+	if sys.L2HitRate() != 0.5 {
+		t.Fatalf("L2 hit rate = %v, want 0.5", sys.L2HitRate())
+	}
+}
+
+func memAccesses(sys *System) int64 {
+	var n int64
+	for _, m := range sys.Mems {
+		n += m.Controller().Accesses()
+	}
+	return n
+}

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"fmt"
+
+	"snacknoc/internal/fixed"
+	"snacknoc/internal/mem"
+	"snacknoc/internal/noc"
+	"snacknoc/internal/stats"
+)
+
+// KernelState is the CPM's kernel execution state (§III-C).
+type KernelState int
+
+// Kernel states.
+const (
+	StateIdle KernelState = iota
+	StateLoading
+	StateRunning
+	StateDone
+)
+
+// String names the state.
+func (s KernelState) String() string {
+	return [...]string{"idle", "loading", "running", "done"}[s]
+}
+
+// CPMConfig sizes the Central Packet Manager.
+type CPMConfig struct {
+	Node noc.NodeID
+	// InstrBufCap bounds the assembled-instruction buffer; the paper
+	// sizes it against the peak rate values stream from a two-rank DDR3
+	// (§III-C1).
+	InstrBufCap int
+	// FetchAhead is the number of outstanding 64 B command-stream reads.
+	FetchAhead int
+	// EntriesPerTxn is how many command-stream entries one DDR3
+	// transaction carries (64 B / 16 B instruction).
+	EntriesPerTxn int
+	// ALOThreshold is the free-VC floor below which the CPM treats the
+	// NoC as congested (§III-C2); ALOHysteresis holds the state.
+	ALOThreshold  int
+	ALOHysteresis int64
+	// SnackALOThreshold is the free snack-VC floor below which the CPM
+	// vacuums transient tokens off the loop into the offload buffer.
+	SnackALOThreshold int
+	// OffloadBufFlits is the Offload Data Memory Buffer capacity: four
+	// flits, one DDR3 64 B transaction (§III-C2).
+	OffloadBufFlits int
+	// ResultBatch is how many results share one write-back transaction.
+	ResultBatch int
+	// ProgBase is the command buffer's physical base address.
+	ProgBase uint64
+}
+
+// DefaultCPMConfig returns the paper's sizing at the given node.
+func DefaultCPMConfig(node noc.NodeID) CPMConfig {
+	return CPMConfig{
+		Node:              node,
+		InstrBufCap:       512,
+		FetchAhead:        48,
+		EntriesPerTxn:     4,
+		ALOThreshold:      6,
+		ALOHysteresis:     32,
+		SnackALOThreshold: 1,
+		OffloadBufFlits:   4,
+		ResultBatch:       4,
+		ProgBase:          1 << 40, // far from any cache-substrate address
+	}
+}
+
+// CPM is the Central Packet Manager (§III-C): it streams the compiled
+// kernel from main memory, assembles and issues instruction flits at one
+// per cycle, throttles against NoC congestion, spills transient tokens to
+// memory under overflow, collects final results, and writes them back.
+type CPM struct {
+	cfg      CPMConfig
+	net      *noc.Network
+	mem      *mem.Controller
+	loop     *noc.LoopRoute
+	alo      *noc.ALODetector
+	snackALO *noc.SnackALODetector
+	// port is the CPM's own connection into its router (Fig 5 shows the
+	// CPM attached beside the router, not behind the node's network
+	// interface). It shares the compute input port with the co-located
+	// RCU so instruction issue never serializes against the memory
+	// controller's response traffic at the node's NI.
+	port   *noc.InjectPort
+	staged *ProgEntry // entry awaiting injection through the port
+
+	state      KernelState
+	prog       *Program
+	onDone     func(*Result)
+	result     *Result
+	fetched    int // entries whose memory read has been issued
+	inflight   int // outstanding command-stream transactions
+	instrBuf   []ProgEntry
+	issuedIdx  int // entries issued onto the NoC
+	resultsGot int
+	writesOut  int // outstanding result write-backs
+	pendingWB  int // results not yet grouped into a write-back
+
+	// overflow management
+	offload     []*DataToken // tokens captured into the offload buffer
+	offloadMem  []*DataToken // tokens parked in main memory
+	reinjecting bool         // alternate offload/instruction issue
+
+	// statistics
+	issued      stats.Counter
+	offloaded   stats.Counter
+	reinjected  stats.Counter
+	busyReplies stats.Counter
+	congestedCy stats.Counter
+}
+
+// NewCPM builds the manager. Attach it at its node (as the NI client and,
+// together with the node's RCU, as the router compute hook) before
+// running; the Platform does this wiring.
+func NewCPM(cfg CPMConfig, net *noc.Network, ctrl *mem.Controller) *CPM {
+	r := net.Router(cfg.Node)
+	return &CPM{
+		cfg:      cfg,
+		net:      net,
+		mem:      ctrl,
+		loop:     net.Loop(),
+		alo:      noc.NewALODetector(r, cfg.ALOThreshold, cfg.ALOHysteresis),
+		snackALO: noc.NewSnackALODetector(r, net.Loop().Next(cfg.Node), cfg.SnackALOThreshold, cfg.ALOHysteresis),
+	}
+}
+
+// SetPort installs the router injection port; the Platform wires it.
+func (c *CPM) SetPort(p *noc.InjectPort) { c.port = p }
+
+// Name implements sim.Component.
+func (c *CPM) Name() string { return fmt.Sprintf("cpm%d", c.cfg.Node) }
+
+// Node returns the CPM's mesh node.
+func (c *CPM) Node() noc.NodeID { return c.cfg.Node }
+
+// State returns the kernel execution state.
+func (c *CPM) State() KernelState { return c.state }
+
+// Busy reports whether a kernel occupies the platform; the runtime's
+// lock acquisition spins on this (§IV-C).
+func (c *CPM) Busy() bool { return c.state == StateLoading || c.state == StateRunning }
+
+// Issued returns the number of command-stream entries issued to the NoC.
+func (c *CPM) Issued() int64 { return c.issued.Value() }
+
+// Offloaded returns tokens spilled to memory under congestion.
+func (c *CPM) Offloaded() int64 { return c.offloaded.Value() }
+
+// BusyReplies counts requests rejected while the platform was occupied.
+func (c *CPM) BusyReplies() int64 { return c.busyReplies.Value() }
+
+// CongestedCycles counts cycles the ALO detector reported congestion.
+func (c *CPM) CongestedCycles() int64 { return c.congestedCy.Value() }
+
+// Submit starts a kernel. It returns false (a "busy response") if one is
+// already loading or running. onDone fires when all results are in main
+// memory.
+func (c *CPM) Submit(p *Program, cycle int64, onDone func(*Result)) bool {
+	if c.Busy() {
+		c.busyReplies.Inc()
+		return false
+	}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("cpm: invalid program: %v", err))
+	}
+	// Execution fills operand references in place, so run a private copy
+	// and leave the caller's program reusable. The copy is stamped with
+	// this CPM's identity: its node as the result home, and a per-CPM
+	// namespace on dependency and sub-block IDs so concurrently executing
+	// kernels from decentralized CPMs (§VII) can never alias each other's
+	// tokens at the RCUs.
+	c.prog = c.stamp(p.Clone())
+	c.onDone = onDone
+	c.state = StateLoading
+	c.fetched = 0
+	c.inflight = 0
+	c.instrBuf = c.instrBuf[:0]
+	c.issuedIdx = 0
+	c.resultsGot = 0
+	c.writesOut = 0
+	c.pendingWB = 0
+	c.offload = c.offload[:0]
+	c.offloadMem = c.offloadMem[:0]
+	c.staged = nil
+	c.result = &Result{
+		Values:     make([]fixed.Q, p.NumOutputs),
+		StartCycle: cycle,
+	}
+	return true
+}
+
+// stamp namespaces a cloned program for this CPM. Dependency and
+// sub-block IDs must stay below 1<<24 (≈16.7 M per kernel).
+func (c *CPM) stamp(p *Program) *Program {
+	base := (uint32(c.cfg.Node) + 1) << 24
+	remapDep := func(d DepID) DepID {
+		if uint32(d) >= 1<<24 {
+			panic(fmt.Sprintf("cpm: dependency id %d exceeds the namespace", d))
+		}
+		return DepID(uint32(d) | base)
+	}
+	for _, e := range p.Entries {
+		if e.Instr != nil {
+			it := e.Instr
+			it.Home = c.cfg.Node
+			if it.SubBlock >= 1<<24 {
+				panic(fmt.Sprintf("cpm: sub-block id %d exceeds the namespace", it.SubBlock))
+			}
+			it.SubBlock |= base
+			if it.L.IsRef {
+				it.L.Dep = remapDep(it.L.Dep)
+			}
+			if it.R.IsRef {
+				it.R.Dep = remapDep(it.R.Dep)
+			}
+			if it.Emit {
+				it.EmitDep = remapDep(it.EmitDep)
+			}
+		}
+		if e.Data != nil {
+			e.Data.Dep = remapDep(e.Data.Dep)
+		}
+	}
+	slots := make(map[DepID]int, len(p.OutputSlot))
+	for d, s := range p.OutputSlot {
+		slots[remapDep(d)] = s
+	}
+	p.OutputSlot = slots
+	return p
+}
+
+// Evaluate implements sim.Component: refill the instruction buffer from
+// memory, and stage one flit per cycle for issue subject to congestion
+// control.
+func (c *CPM) Evaluate(cycle int64) {
+	if !c.Busy() {
+		return
+	}
+	c.port.Update(cycle)
+	c.refill(cycle)
+	if c.staged != nil {
+		return // a previous entry is still waiting for a buffer slot
+	}
+	congested := c.alo.Congested(cycle)
+	if congested {
+		c.congestedCy.Inc()
+	} else if len(c.offload) > 0 {
+		// Congestion has passed with a partial offload buffer: release
+		// the stragglers so their dependents are never stranded.
+		c.FlushOffload()
+	}
+	if congested || !c.port.CanSend() {
+		return // hold issue this cycle
+	}
+	// Alternate between re-injecting spilled tokens and fresh
+	// instructions once resources free up (§III-C2).
+	if c.reinjecting && len(c.offloadMem) > 0 {
+		tok := c.offloadMem[0]
+		c.offloadMem = c.offloadMem[1:]
+		c.staged = &ProgEntry{Data: tok}
+		c.reinjected.Inc()
+		c.reinjecting = false
+		return
+	}
+	c.reinjecting = true
+	if len(c.instrBuf) == 0 {
+		return
+	}
+	e := c.instrBuf[0]
+	c.instrBuf = c.instrBuf[1:]
+	c.staged = &e
+}
+
+// Advance injects the staged entry through the CPM's router port at the
+// paper's one-flit-per-cycle rate.
+func (c *CPM) Advance(cycle int64) {
+	if c.staged == nil {
+		return
+	}
+	var sent bool
+	switch {
+	case c.staged.Instr != nil:
+		sent = c.port.Send(c.staged.Instr.Dst, c.staged.Instr, false, cycle)
+	case c.staged.Data != nil:
+		sent = c.port.Send(c.loop.Next(c.cfg.Node), c.staged.Data, true, cycle)
+	}
+	if sent {
+		c.staged = nil
+		c.issued.Inc()
+	}
+}
+
+// refill streams the command buffer from main memory in 64 B
+// transactions, each carrying EntriesPerTxn entries (§III-C1).
+func (c *CPM) refill(cycle int64) {
+	total := len(c.prog.Entries)
+	for c.inflight < c.cfg.FetchAhead &&
+		c.fetched < total &&
+		len(c.instrBuf)+c.inflight*c.cfg.EntriesPerTxn < c.cfg.InstrBufCap {
+		lo := c.fetched
+		hi := lo + c.cfg.EntriesPerTxn
+		if hi > total {
+			hi = total
+		}
+		c.fetched = hi
+		c.inflight++
+		addr := c.cfg.ProgBase + uint64(lo*InstrBytes)
+		c.mem.Access(addr, false, func(at int64) {
+			c.inflight--
+			c.instrBuf = append(c.instrBuf, c.prog.Entries[lo:hi]...)
+			if c.state == StateLoading {
+				c.state = StateRunning
+			}
+		})
+	}
+}
+
+// Deliver implements noc.Client for the CPM's node: final result tokens
+// are collected into the output FIFO and written back to main memory in
+// batches (§III-C).
+func (c *CPM) Deliver(p *noc.Packet, cycle int64) {
+	tok, ok := p.Payload.(*DataToken)
+	if !ok {
+		panic(fmt.Sprintf("cpm: unexpected packet payload %T", p.Payload))
+	}
+	slot, ok := c.prog.OutputSlot[tok.Dep]
+	if !ok {
+		panic(fmt.Sprintf("cpm: result token %s has no output slot", tok))
+	}
+	c.result.Values[slot] = tok.V
+	c.resultsGot++
+	c.pendingWB++
+	if c.pendingWB >= c.cfg.ResultBatch || c.resultsGot == c.prog.NumOutputs {
+		c.pendingWB = 0
+		c.writesOut++
+		addr := c.cfg.ProgBase + uint64(1<<20) + uint64(slot*4)
+		c.mem.Access(addr, true, func(at int64) {
+			c.writesOut--
+			c.maybeFinish(at)
+		})
+	}
+}
+
+func (c *CPM) maybeFinish(cycle int64) {
+	if c.state != StateRunning || c.resultsGot < c.prog.NumOutputs ||
+		c.writesOut > 0 || c.pendingWB > 0 {
+		return
+	}
+	c.state = StateDone
+	c.result.DoneCycle = cycle
+	if c.onDone != nil {
+		c.onDone(c.result)
+	}
+	c.state = StateIdle
+}
+
+// InstrBufLen returns the assembled-but-unissued entry count (debug).
+func (c *CPM) InstrBufLen() int { return len(c.instrBuf) }
+
+// Inflight returns outstanding command-stream fetches (debug).
+func (c *CPM) Inflight() int { return c.inflight }
+
+// WantsOverflowCapture reports whether the CPM is currently vacuuming
+// transient tokens off the loop: the snack virtual network itself has
+// run out of resources for the tokens in flight (§III-C2: "the number of
+// instruction packets enqueued onto the NoC exceeds the threshold for
+// NoC resources"). Communication-side congestion does not trigger
+// capture — snack flits cannot displace communication flits under the
+// priority arbiter, so spilling them would only add memory round-trips.
+func (c *CPM) WantsOverflowCapture(cycle int64) bool {
+	return c.Busy() && c.snackALO.Congested(cycle)
+}
+
+// CaptureOverflow takes one transient token into the Offload Data Memory
+// Buffer; a full buffer flushes to main memory as one 64 B transaction.
+func (c *CPM) CaptureOverflow(tok *DataToken, cycle int64) {
+	c.offload = append(c.offload, tok)
+	c.offloaded.Inc()
+	if len(c.offload) >= c.cfg.OffloadBufFlits {
+		batch := append([]*DataToken(nil), c.offload...)
+		c.offload = c.offload[:0]
+		addr := c.cfg.ProgBase + uint64(2<<20)
+		c.mem.Access(addr, true, func(at int64) {
+			c.offloadMem = append(c.offloadMem, batch...)
+		})
+	}
+}
+
+// FlushOffload drains any partial offload buffer back into circulation
+// (used at quiesce points so no token is stranded).
+func (c *CPM) FlushOffload() {
+	c.offloadMem = append(c.offloadMem, c.offload...)
+	c.offload = c.offload[:0]
+}

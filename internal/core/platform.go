@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+
+	"snacknoc/internal/cache"
+	"snacknoc/internal/mem"
+	"snacknoc/internal/noc"
+	"snacknoc/internal/sim"
+)
+
+// nodeAttachment composes the per-router compute hook at the CPM's node,
+// where both an RCU and the CPM's overflow logic inspect arriving snack
+// flits (§III-C2: "all data tokens that pass through the CPM are
+// collected in the Offload Data Memory Buffer" while congested).
+type nodeAttachment struct {
+	rcu *RCU
+	cpm *CPM
+}
+
+// OnArrival implements noc.ComputeUnit.
+func (a *nodeAttachment) OnArrival(f *noc.Flit, cycle int64) bool {
+	if a.rcu.OnArrival(f, cycle) {
+		return true
+	}
+	if a.cpm != nil && f.Loop {
+		if tok, ok := f.Payload.(*DataToken); ok && a.cpm.WantsOverflowCapture(cycle) {
+			a.cpm.CaptureOverflow(tok, cycle)
+			return true
+		}
+	}
+	return false
+}
+
+// DrainLoopFlit implements noc.LoopDrainer: buffered loop tokens at the
+// CPM's router are absorbed into the overflow path when the snack vnet
+// is saturated, which is the only way a fully wedged token ring can
+// unwind (no flit is in flight to reach OnArrival).
+func (a *nodeAttachment) DrainLoopFlit(f *noc.Flit, cycle int64) bool {
+	if a.cpm == nil || !f.Loop {
+		return false
+	}
+	tok, ok := f.Payload.(*DataToken)
+	if !ok || !a.cpm.WantsOverflowCapture(cycle) {
+		return false
+	}
+	a.cpm.CaptureOverflow(tok, cycle)
+	return true
+}
+
+// PlatformConfig assembles a SnackNoC platform.
+type PlatformConfig struct {
+	RCU RCUConfig
+	CPM CPMConfig
+	// ShareMemChannel makes the CPM compete with CMP cache traffic for
+	// the memory controller at its node instead of using the dedicated
+	// channel of the paper's pinned SnackNoC memory region (§IV-C1).
+	// Command-buffer streaming runs near full channel bandwidth, so
+	// sharing is an ablation, not the default.
+	ShareMemChannel bool
+}
+
+// DefaultPlatformConfig places the CPM at node 0 (a corner
+// memory-controller node, §III-C: "The CPM is located on a memory
+// controller to benefit from low-latency accesses").
+func DefaultPlatformConfig() PlatformConfig {
+	return PlatformConfig{
+		RCU: DefaultRCUConfig(),
+		CPM: DefaultCPMConfig(0),
+	}
+}
+
+// Platform is a complete SnackNoC: one RCU per router plus one or more
+// CPMs, attached to a snack-enabled mesh. The single-CPM configuration
+// is the paper's evaluated design; multiple CPMs implement its §VII
+// decentralization proposal ("a CPM would be placed within each memory
+// controller module operating in parallel").
+type Platform struct {
+	Eng  *sim.Engine
+	Net  *noc.Network
+	RCUs []*RCU
+	// CPM is the primary manager (CPMs[0]).
+	CPM *CPM
+	// CPMs lists every manager, one per configured node.
+	CPMs []*CPM
+	Mem  *mem.Controller
+}
+
+// NewStandalone builds a zero-load platform (the Fig 9 measurement
+// context: "kernel completion latency, in cycles, under a zero-load
+// NoC"): a fresh snack-enabled mesh with nothing but the SnackNoC
+// attached, and a private DDR3 channel for the CPM.
+func NewStandalone(eng *sim.Engine, width, height int, priority bool, cfg PlatformConfig) (*Platform, error) {
+	net, err := noc.New(eng, noc.SnackPlatform(width, height, priority))
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := mem.New(eng, mem.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	p, err := Attach(eng, net, ctrl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// With no cache substrate, the CPM is the node's NI client directly.
+	net.AttachClient(cfg.CPM.Node, p.CPM)
+	return p, nil
+}
+
+// Attach builds the SnackNoC on an existing snack-enabled network using
+// the given memory controller for the CPM's command/overflow streams.
+// The caller is responsible for routing ejected snack packets at the CPM
+// node to CPM.Deliver (NewStandalone and AttachToSystem handle this).
+func Attach(eng *sim.Engine, net *noc.Network, ctrl *mem.Controller, cfg PlatformConfig) (*Platform, error) {
+	nc := net.Cfg()
+	if nc.SnackVNet < 0 || !nc.ComputePort {
+		return nil, fmt.Errorf("core: network %q lacks a snack vnet or compute ports", nc.Name)
+	}
+	if int(cfg.CPM.Node) < 0 || int(cfg.CPM.Node) >= nc.Nodes() {
+		return nil, fmt.Errorf("core: CPM node %d outside mesh", cfg.CPM.Node)
+	}
+	return attach(eng, net, cfg.RCU, []CPMConfig{cfg.CPM}, []*mem.Controller{ctrl})
+}
+
+// attach wires RCUs at every node and one CPM (with its own memory
+// channel) at each configured node.
+func attach(eng *sim.Engine, net *noc.Network, rcuCfg RCUConfig, cpms []CPMConfig, ctrls []*mem.Controller) (*Platform, error) {
+	nc := net.Cfg()
+	p := &Platform{
+		Eng:  eng,
+		Net:  net,
+		RCUs: make([]*RCU, nc.Nodes()),
+		Mem:  ctrls[0],
+	}
+	byNode := make(map[noc.NodeID]*CPM, len(cpms))
+	for i, cc := range cpms {
+		if int(cc.Node) < 0 || int(cc.Node) >= nc.Nodes() {
+			return nil, fmt.Errorf("core: CPM node %d outside mesh", cc.Node)
+		}
+		if _, dup := byNode[cc.Node]; dup {
+			return nil, fmt.Errorf("core: two CPMs at node %d", cc.Node)
+		}
+		cpm := NewCPM(cc, net, ctrls[i])
+		byNode[cc.Node] = cpm
+		p.CPMs = append(p.CPMs, cpm)
+	}
+	p.CPM = p.CPMs[0]
+	for i := 0; i < nc.Nodes(); i++ {
+		node := noc.NodeID(i)
+		rcu := NewRCU(rcuCfg, node, net.Loop(), p.CPM.Node())
+		var hook noc.ComputeUnit = rcu
+		if cpm := byNode[node]; cpm != nil {
+			hook = &nodeAttachment{rcu: rcu, cpm: cpm}
+		}
+		port := net.AttachCompute(node, hook)
+		rcu.SetPort(port)
+		if cpm := byNode[node]; cpm != nil {
+			// A CPM shares its router's compute port with the local RCU
+			// (Fig 5): instruction issue enters the crossbar directly
+			// rather than competing with memory traffic at the NI.
+			cpm.SetPort(port)
+		}
+		p.RCUs[i] = rcu
+		eng.Register(rcu)
+	}
+	for _, cpm := range p.CPMs {
+		eng.Register(cpm)
+	}
+	return p, nil
+}
+
+// NewStandaloneMulti builds a zero-load platform with a decentralized
+// CPM at every listed node (§VII: "a CPM would be placed within each
+// memory controller module operating in parallel"), each with its own
+// DDR3 channel. Concurrent kernels are namespaced per CPM, so they share
+// the RCUs and the transient-token loop safely.
+func NewStandaloneMulti(eng *sim.Engine, width, height int, priority bool, rcu RCUConfig, nodes []noc.NodeID) (*Platform, error) {
+	net, err := noc.New(eng, noc.SnackPlatform(width, height, priority))
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("core: no CPM nodes given")
+	}
+	cfgs := make([]CPMConfig, len(nodes))
+	ctrls := make([]*mem.Controller, len(nodes))
+	for i, n := range nodes {
+		cfgs[i] = DefaultCPMConfig(n)
+		ctrls[i], err = mem.New(eng, mem.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+	}
+	p, err := attach(eng, net, rcu, cfgs, ctrls)
+	if err != nil {
+		return nil, err
+	}
+	for _, cpm := range p.CPMs {
+		net.AttachClient(cpm.Node(), cpm)
+	}
+	return p, nil
+}
+
+// AttachToSystem builds the SnackNoC on a network already carrying a CMP
+// cache hierarchy (the Fig 11/12/13 co-run context). The CPM shares the
+// memory controller at its node, and snack packets ejected there reach
+// the CPM through the cache hub's Extra route.
+func AttachToSystem(eng *sim.Engine, sys *cache.System, cfg PlatformConfig) (*Platform, error) {
+	mn, ok := sys.Mems[cfg.CPM.Node]
+	if !ok {
+		return nil, fmt.Errorf("core: CPM node %d hosts no memory controller", cfg.CPM.Node)
+	}
+	ctrl := mn.Controller()
+	if !cfg.ShareMemChannel {
+		var err error
+		ctrl, err = mem.New(eng, ctrl.Cfg())
+		if err != nil {
+			return nil, err
+		}
+	}
+	p, err := Attach(eng, sys.Net, ctrl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys.Hubs[cfg.CPM.Node].Extra = p.CPM
+	return p, nil
+}
+
+// Run submits a program and drives the engine until it completes,
+// returning the kernel result. maxCycles bounds the wait.
+func (p *Platform) Run(prog *Program, maxCycles int64) (*Result, error) {
+	var res *Result
+	if !p.CPM.Submit(prog, p.Eng.Cycle(), func(r *Result) { res = r }) {
+		return nil, fmt.Errorf("core: platform busy")
+	}
+	if _, ok := p.Eng.RunUntil(func() bool { return res != nil }, maxCycles); !ok {
+		return nil, fmt.Errorf("core: kernel %q did not complete within %d cycles (state %s, issued %d, results %d/%d)",
+			prog.Name, maxCycles, p.CPM.State(), p.CPM.Issued(), p.CPM.resultsGot, prog.NumOutputs)
+	}
+	return res, nil
+}
+
+// TotalExecuted sums instructions executed across all RCUs.
+func (p *Platform) TotalExecuted() int64 {
+	var n int64
+	for _, r := range p.RCUs {
+		n += r.Executed()
+	}
+	return n
+}
+
+// Quiesced reports whether every RCU is drained and the CPM idle.
+func (p *Platform) Quiesced() bool {
+	if p.CPM.Busy() {
+		return false
+	}
+	for _, r := range p.RCUs {
+		if !r.Idle() {
+			return false
+		}
+	}
+	return true
+}

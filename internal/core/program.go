@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"snacknoc/internal/fixed"
+)
+
+// ProgEntry is one element of a compiled kernel's command stream: either
+// an instruction token to issue to an RCU, or an input data token the CPM
+// injects onto the transient-data loop (how reused inputs such as the
+// SPMV vector reach their many consumers without being copied into every
+// instruction).
+type ProgEntry struct {
+	Instr *InstrToken
+	Data  *DataToken
+}
+
+// Program is a compiled SnackNoC kernel: the command stream the CPM
+// streams from main memory, plus result metadata.
+type Program struct {
+	Name    string
+	Entries []ProgEntry
+	// OutputSlot maps each ToCPM dependency ID to its index in the
+	// result vector.
+	OutputSlot map[DepID]int
+	// NumOutputs is the expected number of final results.
+	NumOutputs int
+}
+
+// Validate checks structural invariants the CPM and RCUs rely on.
+func (p *Program) Validate() error {
+	if len(p.Entries) == 0 {
+		return fmt.Errorf("core: program %q has no entries", p.Name)
+	}
+	if p.NumOutputs <= 0 {
+		return fmt.Errorf("core: program %q produces no outputs", p.Name)
+	}
+	if len(p.OutputSlot) != p.NumOutputs {
+		return fmt.Errorf("core: program %q: %d output slots for %d outputs",
+			p.Name, len(p.OutputSlot), p.NumOutputs)
+	}
+	seen := make(map[int]bool)
+	outs := 0
+	var lastSeq uint32
+	for i, e := range p.Entries {
+		switch {
+		case e.Instr != nil && e.Data != nil:
+			return fmt.Errorf("core: program %q entry %d is both instruction and data", p.Name, i)
+		case e.Instr == nil && e.Data == nil:
+			return fmt.Errorf("core: program %q entry %d is empty", p.Name, i)
+		case e.Instr != nil:
+			it := e.Instr
+			if it.Seq < lastSeq {
+				return fmt.Errorf("core: program %q: instruction %d out of sequence", p.Name, i)
+			}
+			lastSeq = it.Seq
+			if it.ToCPM {
+				if !it.Emit {
+					return fmt.Errorf("core: program %q: ToCPM without Emit at entry %d", p.Name, i)
+				}
+				slot, ok := p.OutputSlot[it.EmitDep]
+				if !ok {
+					return fmt.Errorf("core: program %q: output dep %d has no slot", p.Name, it.EmitDep)
+				}
+				if seen[slot] {
+					return fmt.Errorf("core: program %q: output slot %d written twice", p.Name, slot)
+				}
+				seen[slot] = true
+				outs++
+			}
+		case e.Data != nil:
+			if e.Data.Dependents == 0 {
+				return fmt.Errorf("core: program %q: input token %d with zero dependents", p.Name, i)
+			}
+		}
+	}
+	if outs != p.NumOutputs {
+		return fmt.Errorf("core: program %q: %d ToCPM instructions for %d outputs", p.Name, outs, p.NumOutputs)
+	}
+	return nil
+}
+
+// Instructions returns the count of instruction entries.
+func (p *Program) Instructions() int {
+	n := 0
+	for _, e := range p.Entries {
+		if e.Instr != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// InputTokens returns the count of CPM-injected data tokens.
+func (p *Program) InputTokens() int {
+	return len(p.Entries) - p.Instructions()
+}
+
+// Clone deep-copies the program. Execution mutates instruction tokens in
+// place (operand capture fills references), so every submission to the
+// CPM must run on a private copy; Submit clones internally.
+func (p *Program) Clone() *Program {
+	out := &Program{
+		Name:       p.Name,
+		Entries:    make([]ProgEntry, len(p.Entries)),
+		OutputSlot: make(map[DepID]int, len(p.OutputSlot)),
+		NumOutputs: p.NumOutputs,
+	}
+	for i, e := range p.Entries {
+		if e.Instr != nil {
+			it := *e.Instr
+			out.Entries[i].Instr = &it
+		}
+		if e.Data != nil {
+			d := *e.Data
+			out.Entries[i].Data = &d
+		}
+	}
+	for k, v := range p.OutputSlot {
+		out.OutputSlot[k] = v
+	}
+	return out
+}
+
+// Result is a completed kernel's output vector and timing.
+type Result struct {
+	Values     []fixed.Q
+	StartCycle int64
+	DoneCycle  int64
+}
+
+// Cycles returns the kernel completion latency in cycles.
+func (r *Result) Cycles() int64 { return r.DoneCycle - r.StartCycle }

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fmt"
+
+	"snacknoc/internal/fixed"
+	"snacknoc/internal/noc"
+	"snacknoc/internal/stats"
+)
+
+// RCUConfig sizes one Router Compute Unit.
+type RCUConfig struct {
+	// EnqueueLat is the extra pipeline stage between a flit arriving at
+	// the router and the instruction becoming schedulable (§III-D2: "this
+	// action adds an additional router pipeline stage").
+	EnqueueLat int64
+}
+
+// DefaultRCUConfig matches the paper's router integration.
+func DefaultRCUConfig() RCUConfig {
+	return RCUConfig{EnqueueLat: 1}
+}
+
+// inboxEntry is an instruction awaiting its enqueue stage.
+type inboxEntry struct {
+	it    *InstrToken
+	stamp int64
+}
+
+// sbQueue is the ordered instruction buffer for one sub-block: an
+// intra-dependent chain executed strictly in sequence (§III-D1). Arrivals
+// are insertion-sorted on SBIdx; the head fires only when it is the next
+// unexecuted index, so chains survive NoC reordering.
+type sbQueue struct {
+	id       uint32
+	instrs   []*InstrToken
+	executed int // instructions of this sub-block already dispatched
+}
+
+// headReady reports whether the queue's head is the next instruction in
+// sub-block order.
+func (q *sbQueue) headReady() bool {
+	return len(q.instrs) > 0 && q.instrs[0].SBIdx == q.executed
+}
+
+// outToken is a result awaiting injection through the compute port.
+type outToken struct {
+	dst  noc.NodeID
+	tok  *DataToken
+	loop bool
+}
+
+// RCU is the Router Compute Unit of §III-D: flit decode, an ordered
+// instruction buffer with sub-block partial ordering, a dependency-
+// capture path fed by transient loop tokens, a fixed-point ALU with an
+// accumulator register, and result re-encoding back onto the NoC.
+type RCU struct {
+	cfg     RCUConfig
+	node    noc.NodeID
+	port    *noc.InjectPort
+	loop    *noc.LoopRoute
+	cpmNode noc.NodeID
+
+	inbox   []inboxEntry
+	sbs     []*sbQueue              // active sub-blocks, in arrival order
+	sbIndex map[uint32]*sbQueue     // id -> queue
+	waiting map[DepID][]*InstrToken // unresolved operand index
+
+	acc     fixed.Q
+	accSB   uint32
+	accOpen bool
+
+	exec      *InstrToken
+	execVal   fixed.Q
+	busyUntil int64
+
+	outQ []outToken
+
+	// statistics
+	executed   stats.Counter
+	captured   stats.Counter // dependency values captured from loop tokens
+	emitted    stats.Counter
+	maxBuffer  int
+	stallCount stats.Counter // cycles with buffered work but nothing ready
+}
+
+// NewRCU builds the compute unit for one router. The Network's
+// AttachCompute must be called separately (or via the Platform) to give
+// it its injection port.
+func NewRCU(cfg RCUConfig, node noc.NodeID, loop *noc.LoopRoute, cpmNode noc.NodeID) *RCU {
+	return &RCU{
+		cfg:     cfg,
+		node:    node,
+		loop:    loop,
+		cpmNode: cpmNode,
+		sbIndex: make(map[uint32]*sbQueue),
+		waiting: make(map[DepID][]*InstrToken),
+	}
+}
+
+// SetPort installs the compute-port handle returned by AttachCompute.
+func (r *RCU) SetPort(p *noc.InjectPort) { r.port = p }
+
+// Name implements sim.Component.
+func (r *RCU) Name() string { return fmt.Sprintf("rcu%d", r.node) }
+
+// Node returns the RCU's mesh node.
+func (r *RCU) Node() noc.NodeID { return r.node }
+
+// Executed returns the number of instructions completed.
+func (r *RCU) Executed() int64 { return r.executed.Value() }
+
+// Captured returns the number of dependency values taken from the loop.
+func (r *RCU) Captured() int64 { return r.captured.Value() }
+
+// Emitted returns the number of data tokens produced.
+func (r *RCU) Emitted() int64 { return r.emitted.Value() }
+
+// MaxBuffered returns the high-water mark of the instruction buffer.
+func (r *RCU) MaxBuffered() int { return r.maxBuffer }
+
+// Idle reports whether the RCU holds no work at all.
+func (r *RCU) Idle() bool {
+	return r.exec == nil && len(r.inbox) == 0 && len(r.sbs) == 0 && len(r.outQ) == 0
+}
+
+// OnArrival implements noc.ComputeUnit: instruction flits are consumed
+// into the inbox; passing data tokens fill any waiting operands and are
+// consumed once their dependent count reaches zero.
+func (r *RCU) OnArrival(f *noc.Flit, cycle int64) bool {
+	switch pl := f.Payload.(type) {
+	case *InstrToken:
+		r.inbox = append(r.inbox, inboxEntry{it: pl, stamp: cycle})
+		return true
+	case *DataToken:
+		if !f.Loop {
+			// A directly addressed token (e.g. an output heading to the
+			// CPM): not ours to consume.
+			return false
+		}
+		fills := r.deliver(pl.Dep, pl.V)
+		if fills == 0 {
+			return false
+		}
+		r.captured.Add(int64(fills))
+		if int(pl.Dependents) < fills {
+			panic(fmt.Sprintf("%s: token %s over-consumed by %d fills", r.Name(), pl, fills))
+		}
+		pl.Dependents -= uint16(fills)
+		return pl.Dependents == 0
+	default:
+		return false
+	}
+}
+
+// deliver fills every waiting operand that references dep, returning the
+// number of operand fills performed.
+func (r *RCU) deliver(dep DepID, v fixed.Q) int {
+	list, ok := r.waiting[dep]
+	if !ok {
+		return 0
+	}
+	fills := 0
+	for _, it := range list {
+		if it.L.IsRef && !it.L.filled && it.L.Dep == dep {
+			it.L.fill(v)
+			fills++
+		}
+		if it.R.IsRef && !it.R.filled && it.R.Dep == dep {
+			it.R.fill(v)
+			fills++
+		}
+	}
+	delete(r.waiting, dep)
+	return fills
+}
+
+// Evaluate implements sim.Component: enqueue arrived instructions,
+// complete the executing operation, and start the next ready one.
+func (r *RCU) Evaluate(cycle int64) {
+	if r.port != nil {
+		r.port.Update(cycle)
+	}
+	r.drainInbox(cycle)
+	if r.exec != nil && cycle >= r.busyUntil {
+		r.complete(cycle)
+	}
+	if r.exec == nil {
+		r.dispatch(cycle)
+	}
+}
+
+// Advance injects at most one queued result token per cycle.
+func (r *RCU) Advance(cycle int64) {
+	if len(r.outQ) == 0 || r.port == nil {
+		return
+	}
+	o := r.outQ[0]
+	if r.port.Send(o.dst, o.tok, o.loop, cycle) {
+		r.outQ = r.outQ[1:]
+	}
+}
+
+// drainInbox moves instructions that have passed the enqueue stage into
+// their sub-block queues and indexes their unresolved operands.
+func (r *RCU) drainInbox(cycle int64) {
+	n := 0
+	for n < len(r.inbox) && cycle-r.inbox[n].stamp >= r.cfg.EnqueueLat {
+		it := r.inbox[n].it
+		q, ok := r.sbIndex[it.SubBlock]
+		if !ok {
+			q = &sbQueue{id: it.SubBlock}
+			r.sbIndex[it.SubBlock] = q
+			r.sbs = append(r.sbs, q)
+		}
+		// Insertion sort on SBIdx: flits may arrive out of order.
+		pos := len(q.instrs)
+		for pos > 0 && q.instrs[pos-1].SBIdx > it.SBIdx {
+			pos--
+		}
+		q.instrs = append(q.instrs, nil)
+		copy(q.instrs[pos+1:], q.instrs[pos:])
+		q.instrs[pos] = it
+		if it.L.IsRef && !it.L.filled {
+			r.waiting[it.L.Dep] = append(r.waiting[it.L.Dep], it)
+		}
+		if it.R.IsRef && !it.R.filled {
+			r.waiting[it.R.Dep] = append(r.waiting[it.R.Dep], it)
+		}
+		n++
+	}
+	if n > 0 {
+		r.inbox = append(r.inbox[:0], r.inbox[n:]...)
+	}
+	if b := r.buffered(); b > r.maxBuffer {
+		r.maxBuffer = b
+	}
+}
+
+func (r *RCU) buffered() int {
+	n := len(r.inbox)
+	for _, q := range r.sbs {
+		n += len(q.instrs)
+	}
+	return n
+}
+
+// dispatch picks the next instruction under the §III-D1 partial order:
+// while an accumulator chain is open only its own sub-block may issue;
+// otherwise the lowest-sequence ready head across sub-blocks wins.
+func (r *RCU) dispatch(cycle int64) {
+	var pick *sbQueue
+	if r.accOpen {
+		q, ok := r.sbIndex[r.accSB]
+		if !ok || !q.headReady() || !operandsReady(q.instrs[0]) {
+			if len(r.sbs) > 0 {
+				r.stallCount.Inc()
+			}
+			return
+		}
+		pick = q
+	} else {
+		for _, q := range r.sbs {
+			if !q.headReady() || !operandsReady(q.instrs[0]) {
+				continue
+			}
+			if pick == nil || q.instrs[0].Seq < pick.instrs[0].Seq {
+				pick = q
+			}
+		}
+		if pick == nil {
+			if len(r.sbs) > 0 {
+				r.stallCount.Inc()
+			}
+			return
+		}
+	}
+	it := pick.instrs[0]
+	pick.instrs = pick.instrs[1:]
+	pick.executed++
+	if it.EndSB {
+		if len(pick.instrs) > 0 {
+			panic(fmt.Sprintf("%s: sub-block %d has instructions beyond EndSB", r.Name(), pick.id))
+		}
+		r.removeSB(pick)
+	}
+	r.exec = it
+	r.busyUntil = cycle + it.Op.Latency()
+	r.execVal = r.compute(it)
+}
+
+func operandsReady(it *InstrToken) bool {
+	if !it.L.ready() {
+		return false
+	}
+	if it.Op == OpAccAdd {
+		return true // unary: R unused
+	}
+	return it.R.ready()
+}
+
+// compute applies the ALU operation, updating the accumulator for
+// chained operations.
+func (r *RCU) compute(it *InstrToken) fixed.Q {
+	l := it.L.value()
+	var v fixed.Q
+	switch it.Op {
+	case OpAdd:
+		v = l.Add(it.R.value())
+	case OpSub:
+		v = l.Sub(it.R.value())
+	case OpMul:
+		v = l.Mul(it.R.value())
+	case OpMAC:
+		m := l.Mul(it.R.value())
+		if it.AccInit {
+			r.acc = m
+		} else {
+			r.checkAccChain(it)
+			r.acc = r.acc.Add(m)
+		}
+		v = r.acc
+	case OpAccAdd:
+		if it.AccInit {
+			r.acc = l
+		} else {
+			r.checkAccChain(it)
+			r.acc = r.acc.Add(l)
+		}
+		v = r.acc
+	default:
+		panic(fmt.Sprintf("%s: unknown op %s", r.Name(), it.Op))
+	}
+	if it.Op.usesAcc() {
+		r.accOpen = !it.EndSB
+		r.accSB = it.SubBlock
+	}
+	return v
+}
+
+// complete finishes the executing instruction: local consumers are
+// satisfied immediately (§III-A: same-PE results are preserved locally),
+// and any remaining dependents receive a data token — to the CPM for
+// final outputs, onto the loop route for transient intermediates.
+func (r *RCU) complete(cycle int64) {
+	it := r.exec
+	r.exec = nil
+	r.executed.Inc()
+	if !it.Emit {
+		return
+	}
+	r.emitted.Inc()
+	tok := &DataToken{Dep: it.EmitDep, Dependents: it.Dependents, V: r.execVal}
+	if it.ToCPM {
+		r.outQ = append(r.outQ, outToken{dst: it.Home, tok: tok, loop: false})
+		return
+	}
+	if fills := r.deliver(tok.Dep, tok.V); fills > 0 {
+		r.captured.Add(int64(fills))
+		if int(tok.Dependents) < fills {
+			panic(fmt.Sprintf("%s: local delivery over-consumed %s", r.Name(), tok))
+		}
+		tok.Dependents -= uint16(fills)
+	}
+	if tok.Dependents > 0 {
+		r.outQ = append(r.outQ, outToken{dst: r.loop.Next(r.node), tok: tok, loop: true})
+	}
+}
+
+// checkAccChain guards the §III-D1 invariant: a non-initial accumulator
+// instruction must continue the currently open chain.
+func (r *RCU) checkAccChain(it *InstrToken) {
+	if !r.accOpen || r.accSB != it.SubBlock {
+		panic(fmt.Sprintf("%s: accumulator chain broken at %s (open=%v sb=%d)",
+			r.Name(), it, r.accOpen, r.accSB))
+	}
+}
+
+func (r *RCU) removeSB(q *sbQueue) {
+	delete(r.sbIndex, q.id)
+	for i, s := range r.sbs {
+		if s == q {
+			r.sbs = append(r.sbs[:i], r.sbs[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+)
+
+// CPUConfig characterizes the out-of-order server cores the paper
+// measures the linear-algebra kernels on (a Xeon E5-2660 v3, Table IV).
+// The model is a mechanistic roofline: per-element cost from dependency-
+// chain latency and issue overhead, a shared DRAM bandwidth ceiling, an
+// exposed-latency penalty for irregular gathers, and a per-region
+// synchronization cost. These few microarchitectural constants — FMA and
+// FP-add latencies, issue overhead, bandwidth — stand in for the paper's
+// physical Dell server (see DESIGN.md substitution 3).
+type CPUConfig struct {
+	// FMALatency is the floating multiply-add dependency-chain latency in
+	// cycles (Haswell: 5).
+	FMALatency float64
+	// FAddLatency is the floating add chain latency (Haswell: 3).
+	FAddLatency float64
+	// IssueOverhead is the per-element loop/address/load issue cost for
+	// compiled scalar code.
+	IssueOverhead float64
+	// GatherExtra is the additional exposed latency per irregular,
+	// address-dependent access (SPMV's x[col[k]]).
+	GatherExtra float64
+	// GatherContention inflates GatherExtra per additional thread:
+	// random accesses from many threads thrash the shared LLC, TLBs and
+	// DRAM banks, the effect behind SPMV's sub-linear scaling.
+	GatherContention float64
+	// LLCBytes is the last-level cache capacity; datasets under it do not
+	// pay the DRAM bandwidth ceiling (20 MB, Table IV).
+	LLCBytes int64
+	// DRAMBandwidth is the socket's aggregate streaming bandwidth in
+	// bytes per core-clock cycle, shared by all threads.
+	DRAMBandwidth float64
+	// SyncCycles is the per-parallel-region barrier/fork-join cost.
+	SyncCycles float64
+	// ParallelOverhead is the fractional per-thread work inflation of the
+	// OpenMP runtime (scheduling, false sharing).
+	ParallelOverhead float64
+}
+
+// DefaultCPUConfig returns the Haswell EP characterization.
+func DefaultCPUConfig() CPUConfig {
+	return CPUConfig{
+		FMALatency:       5,
+		FAddLatency:      3,
+		IssueOverhead:    1.15,
+		GatherExtra:      1.2,
+		GatherContention: 0.20,
+		LLCBytes:         20 << 20,
+		DRAMBandwidth:    24,
+		SyncCycles:       4000,
+		ParallelOverhead: 0.004,
+	}
+}
+
+// KernelName identifies one of the Table III SnackNoC kernels.
+type KernelName string
+
+// The four evaluated kernels.
+const (
+	KernelSGEMM     KernelName = "SGEMM"
+	KernelReduction KernelName = "Reduction"
+	KernelMAC       KernelName = "MAC"
+	KernelSPMV      KernelName = "SPMV"
+)
+
+// Kernels lists the four in the paper's Fig 9 order.
+func Kernels() []KernelName {
+	return []KernelName{KernelSGEMM, KernelReduction, KernelMAC, KernelSPMV}
+}
+
+// KernelDims sizes one kernel instance.
+type KernelDims struct {
+	N   int // matrix dimension or vector length
+	NNZ int // SPMV stored elements
+}
+
+// Elems returns the fundamental operation count (MACs or adds).
+func (d KernelDims) Elems(k KernelName) int64 {
+	switch k {
+	case KernelSGEMM:
+		return int64(d.N) * int64(d.N) * int64(d.N)
+	case KernelSPMV:
+		return int64(d.NNZ)
+	default:
+		return int64(d.N)
+	}
+}
+
+// dramBytes returns the bytes a kernel streams from DRAM; working sets
+// inside the LLC return zero (they stream from cache instead).
+func (d KernelDims) dramBytes(k KernelName, cfg *CPUConfig) float64 {
+	var bytes int64
+	switch k {
+	case KernelSGEMM:
+		// ikj loop order streams B and C per i-iteration; effective
+		// traffic is roughly one 4-byte element per MAC when the matrix
+		// exceeds cache.
+		bytes = 4 * d.Elems(k)
+		if 3*4*int64(d.N)*int64(d.N) < cfg.LLCBytes {
+			return 0
+		}
+	case KernelReduction:
+		bytes = 4 * int64(d.N)
+		if bytes < cfg.LLCBytes {
+			return 0
+		}
+	case KernelMAC:
+		bytes = 8 * int64(d.N)
+		if bytes < cfg.LLCBytes {
+			return 0
+		}
+	case KernelSPMV:
+		bytes = 12 * int64(d.NNZ) // value + column index + row traffic
+		if bytes < cfg.LLCBytes {
+			return 0
+		}
+	}
+	return float64(bytes)
+}
+
+// perElemCycles returns the per-thread dependency/issue cost of one
+// fundamental operation at the given thread count.
+func perElemCycles(k KernelName, threads int, cfg *CPUConfig) float64 {
+	switch k {
+	case KernelSGEMM:
+		// Scalar FMA chain on the accumulator dominates the naive inner
+		// product.
+		return cfg.FMALatency + cfg.IssueOverhead
+	case KernelReduction:
+		// Partially unrolled add chain: the compiler interleaves ~2
+		// independent partial sums.
+		return cfg.FAddLatency/2 + cfg.IssueOverhead
+	case KernelMAC:
+		// Two streams and an FMA chain, ~2-way unrolled.
+		return cfg.FMALatency/4 + cfg.IssueOverhead + 0.25
+	case KernelSPMV:
+		// FMA chain partially hidden by row-level parallelism, plus the
+		// exposed gather, which degrades as threads contend for the
+		// shared memory system.
+		gather := cfg.GatherExtra * (1 + cfg.GatherContention*float64(threads-1))
+		return cfg.FMALatency/4 + cfg.IssueOverhead + gather
+	default:
+		panic(fmt.Sprintf("cpu: unknown kernel %q", k))
+	}
+}
+
+// CPUKernelCycles models the kernel's completion time in core cycles on
+// the given thread count.
+func CPUKernelCycles(k KernelName, d KernelDims, threads int, cfg CPUConfig) int64 {
+	if threads < 1 {
+		panic("cpu: thread count must be >= 1")
+	}
+	elems := float64(d.Elems(k))
+	work := elems * perElemCycles(k, threads, &cfg)
+	perThread := work / float64(threads) * (1 + cfg.ParallelOverhead*float64(threads-1))
+	bwBound := d.dramBytes(k, &cfg) / cfg.DRAMBandwidth
+	t := math.Max(perThread, bwBound)
+	if threads > 1 {
+		// Fork-join and barrier costs; a single thread pays none.
+		t += cfg.SyncCycles * math.Log2(float64(threads))
+	}
+	return int64(math.Ceil(t))
+}
+
+// CPUSpeedup returns the kernel's speedup at the given thread count
+// relative to one thread, the normalization of Fig 9.
+func CPUSpeedup(k KernelName, d KernelDims, threads int, cfg CPUConfig) float64 {
+	one := CPUKernelCycles(k, d, 1, cfg)
+	many := CPUKernelCycles(k, d, threads, cfg)
+	return float64(one) / float64(many)
+}

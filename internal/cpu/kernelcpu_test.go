@@ -1,0 +1,95 @@
+package cpu
+
+import "testing"
+
+func TestCPUSpeedupBaseline(t *testing.T) {
+	cfg := DefaultCPUConfig()
+	for _, k := range Kernels() {
+		d := KernelDims{N: 1 << 20, NNZ: 1 << 20}
+		if got := CPUSpeedup(k, d, 1, cfg); got != 1 {
+			t.Errorf("%s: 1-thread speedup = %v", k, got)
+		}
+	}
+}
+
+func TestCPUKernelCyclesMonotonicInSize(t *testing.T) {
+	cfg := DefaultCPUConfig()
+	for _, k := range Kernels() {
+		small := CPUKernelCycles(k, KernelDims{N: 1 << 10, NNZ: 1 << 10}, 1, cfg)
+		big := CPUKernelCycles(k, KernelDims{N: 1 << 16, NNZ: 1 << 16}, 1, cfg)
+		if big <= small {
+			t.Errorf("%s: %d cycles at 64K not above %d at 1K", k, big, small)
+		}
+	}
+}
+
+func TestRegularKernelsScaleNearLinearly(t *testing.T) {
+	cfg := DefaultCPUConfig()
+	for _, tc := range []struct {
+		k KernelName
+		d KernelDims
+	}{
+		{KernelSGEMM, KernelDims{N: 4096}},
+		{KernelReduction, KernelDims{N: 640_000_000}},
+	} {
+		s8 := CPUSpeedup(tc.k, tc.d, 8, cfg)
+		if s8 < 7.0 || s8 > 8.0 {
+			t.Errorf("%s 8-thread speedup %v, want near-linear (paper: ~7.9)", tc.k, s8)
+		}
+	}
+}
+
+func TestSPMVScalesSubLinearly(t *testing.T) {
+	cfg := DefaultCPUConfig()
+	nnz := 4096 * 4096 * 3 / 10
+	s8 := CPUSpeedup(KernelSPMV, KernelDims{N: 4096, NNZ: nnz}, 8, cfg)
+	if s8 > 6.5 {
+		t.Errorf("SPMV 8-thread speedup %v, want sub-linear (paper: 5.4)", s8)
+	}
+	if s8 < 4.0 {
+		t.Errorf("SPMV 8-thread speedup %v collapsed below the paper's 5.4 region", s8)
+	}
+	sg := CPUSpeedup(KernelSGEMM, KernelDims{N: 4096}, 8, cfg)
+	if s8 >= sg {
+		t.Errorf("SPMV (%v) should scale worse than SGEMM (%v)", s8, sg)
+	}
+}
+
+func TestBandwidthCeilingBindsLargeStreams(t *testing.T) {
+	// With the Haswell bandwidth the evaluated kernels stay mostly
+	// compute-bound (matching the paper's near-linear scaling); a
+	// bandwidth-starved configuration must hit the roofline ceiling.
+	starved := DefaultCPUConfig()
+	starved.DRAMBandwidth = 4
+	huge := KernelDims{N: 1 << 30} // far beyond LLC
+	s8 := CPUSpeedup(KernelMAC, huge, 8, starved)
+	if s8 > 2.0 {
+		t.Errorf("bandwidth-starved MAC speedup %v, want roofline saturation <= 2", s8)
+	}
+	s8normal := CPUSpeedup(KernelMAC, huge, 8, DefaultCPUConfig())
+	if s8 >= s8normal {
+		t.Errorf("starved speedup (%v) not below normal (%v)", s8, s8normal)
+	}
+}
+
+func TestKernelElems(t *testing.T) {
+	d := KernelDims{N: 10, NNZ: 33}
+	if d.Elems(KernelSGEMM) != 1000 {
+		t.Errorf("SGEMM elems = %d", d.Elems(KernelSGEMM))
+	}
+	if d.Elems(KernelSPMV) != 33 {
+		t.Errorf("SPMV elems = %d", d.Elems(KernelSPMV))
+	}
+	if d.Elems(KernelReduction) != 10 || d.Elems(KernelMAC) != 10 {
+		t.Error("vector kernels elems wrong")
+	}
+}
+
+func TestThreadCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0 threads did not panic")
+		}
+	}()
+	CPUKernelCycles(KernelSGEMM, KernelDims{N: 8}, 0, DefaultCPUConfig())
+}

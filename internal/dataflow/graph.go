@@ -1,0 +1,303 @@
+// Package dataflow is the intermediate representation behind the
+// SnackNoC programming model (§IV-A): deterministic dataflow graphs whose
+// nodes are array operations and whose edges are immediate or
+// intermediate array values. The runtime builds these graphs from API
+// calls, and the compiler lowers them to element-wise instruction flits.
+package dataflow
+
+import (
+	"fmt"
+
+	"snacknoc/internal/fixed"
+)
+
+// Kind enumerates graph operations: the BLAS-subset the paper's runtime
+// exposes (§IV-A, "Current support includes a subset of the BLAS
+// specification").
+type Kind int
+
+// Graph node kinds.
+const (
+	KindInput  Kind = iota // immediate array provided by the program
+	KindMatMul             // dense matrix multiply
+	KindAdd                // element-wise addition
+	KindSub                // element-wise subtraction
+	KindScale              // scalar × array
+	KindReduce             // sum-reduction of all elements to a 1×1
+	KindDot                // inner product of two equal-length vectors
+	KindSpMV               // sparse matrix × dense vector
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	names := [...]string{"input", "matmul", "add", "sub", "scale", "reduce", "dot", "spmv"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Sparse holds a CSR matrix for SpMV nodes.
+type Sparse struct {
+	Rows, Cols int
+	RowPtr     []int // len Rows+1
+	ColIdx     []int
+	Val        []fixed.Q
+}
+
+// NNZ returns the stored-element count.
+func (s *Sparse) NNZ() int { return len(s.Val) }
+
+// Validate checks CSR structural invariants.
+func (s *Sparse) Validate() error {
+	if s.Rows <= 0 || s.Cols <= 0 {
+		return fmt.Errorf("dataflow: sparse shape %dx%d invalid", s.Rows, s.Cols)
+	}
+	if len(s.RowPtr) != s.Rows+1 {
+		return fmt.Errorf("dataflow: RowPtr length %d, want %d", len(s.RowPtr), s.Rows+1)
+	}
+	if s.RowPtr[0] != 0 || s.RowPtr[s.Rows] != len(s.Val) || len(s.ColIdx) != len(s.Val) {
+		return fmt.Errorf("dataflow: CSR index arrays inconsistent")
+	}
+	for i := 0; i < s.Rows; i++ {
+		if s.RowPtr[i] > s.RowPtr[i+1] {
+			return fmt.Errorf("dataflow: RowPtr not monotonic at row %d", i)
+		}
+	}
+	for _, c := range s.ColIdx {
+		if c < 0 || c >= s.Cols {
+			return fmt.Errorf("dataflow: column index %d out of range", c)
+		}
+	}
+	return nil
+}
+
+// Node is one dataflow graph vertex producing a Rows×Cols array value.
+type Node struct {
+	ID         int
+	Kind       Kind
+	Rows, Cols int
+	Inputs     []*Node
+
+	// Data holds the row-major immediate values of a KindInput node.
+	Data []fixed.Q
+	// Sp holds the sparse operand of a KindSpMV node (the dense vector is
+	// Inputs[0]).
+	Sp *Sparse
+}
+
+// Elems returns the element count of the node's value.
+func (n *Node) Elems() int { return n.Rows * n.Cols }
+
+// IsScalar reports whether the value is 1×1.
+func (n *Node) IsScalar() bool { return n.Rows == 1 && n.Cols == 1 }
+
+// Graph is one computation: a DAG with a single root whose value is the
+// result written back to the user's output buffer (§IV-A1: "Each graph
+// can only have a single root node").
+type Graph struct {
+	Nodes []*Node
+	Root  *Node
+}
+
+// Builder constructs graphs with shape checking.
+type Builder struct {
+	nodes []*Node
+}
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+func (b *Builder) add(n *Node) *Node {
+	n.ID = len(b.nodes)
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+// Input creates an immediate array node from row-major data.
+func (b *Builder) Input(data []fixed.Q, rows, cols int) (*Node, error) {
+	if rows <= 0 || cols <= 0 || len(data) != rows*cols {
+		return nil, fmt.Errorf("dataflow: input shape %dx%d does not match %d values", rows, cols, len(data))
+	}
+	return b.add(&Node{Kind: KindInput, Rows: rows, Cols: cols, Data: data}), nil
+}
+
+// Scalar creates a 1×1 immediate node.
+func (b *Builder) Scalar(v fixed.Q) *Node {
+	n, _ := b.Input([]fixed.Q{v}, 1, 1)
+	return n
+}
+
+// MatMul creates a dense matrix product node.
+func (b *Builder) MatMul(x, y *Node) (*Node, error) {
+	if x.Cols != y.Rows {
+		return nil, fmt.Errorf("dataflow: matmul %dx%d · %dx%d shape mismatch", x.Rows, x.Cols, y.Rows, y.Cols)
+	}
+	return b.add(&Node{Kind: KindMatMul, Rows: x.Rows, Cols: y.Cols, Inputs: []*Node{x, y}}), nil
+}
+
+// Add creates an element-wise sum node.
+func (b *Builder) Add(x, y *Node) (*Node, error) { return b.elementwise(KindAdd, x, y) }
+
+// Sub creates an element-wise difference node.
+func (b *Builder) Sub(x, y *Node) (*Node, error) { return b.elementwise(KindSub, x, y) }
+
+func (b *Builder) elementwise(k Kind, x, y *Node) (*Node, error) {
+	if x.Rows != y.Rows || x.Cols != y.Cols {
+		return nil, fmt.Errorf("dataflow: %s %dx%d vs %dx%d shape mismatch", k, x.Rows, x.Cols, y.Rows, y.Cols)
+	}
+	return b.add(&Node{Kind: k, Rows: x.Rows, Cols: x.Cols, Inputs: []*Node{x, y}}), nil
+}
+
+// Scale creates a scalar-times-array node; s must be 1×1.
+func (b *Builder) Scale(s, x *Node) (*Node, error) {
+	if !s.IsScalar() {
+		return nil, fmt.Errorf("dataflow: scale factor must be 1x1, got %dx%d", s.Rows, s.Cols)
+	}
+	return b.add(&Node{Kind: KindScale, Rows: x.Rows, Cols: x.Cols, Inputs: []*Node{s, x}}), nil
+}
+
+// Reduce creates a sum-reduction node collapsing x to 1×1.
+func (b *Builder) Reduce(x *Node) (*Node, error) {
+	if x.Elems() == 0 {
+		return nil, fmt.Errorf("dataflow: reduce of empty array")
+	}
+	return b.add(&Node{Kind: KindReduce, Rows: 1, Cols: 1, Inputs: []*Node{x}}), nil
+}
+
+// Dot creates an inner-product node of two vectors with equal element
+// counts (the MAC kernel of Table III).
+func (b *Builder) Dot(x, y *Node) (*Node, error) {
+	if x.Elems() != y.Elems() {
+		return nil, fmt.Errorf("dataflow: dot of %d vs %d elements", x.Elems(), y.Elems())
+	}
+	return b.add(&Node{Kind: KindDot, Rows: 1, Cols: 1, Inputs: []*Node{x, y}}), nil
+}
+
+// SpMV creates a sparse-matrix × dense-vector node.
+func (b *Builder) SpMV(a *Sparse, x *Node) (*Node, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if x.Elems() != a.Cols {
+		return nil, fmt.Errorf("dataflow: spmv vector has %d elements for %d columns", x.Elems(), a.Cols)
+	}
+	return b.add(&Node{Kind: KindSpMV, Rows: a.Rows, Cols: 1, Inputs: []*Node{x}, Sp: a}), nil
+}
+
+// Build finalizes the graph with the given root.
+func (b *Builder) Build(root *Node) (*Graph, error) {
+	if root == nil {
+		return nil, fmt.Errorf("dataflow: nil root")
+	}
+	if root.Kind == KindInput {
+		return nil, fmt.Errorf("dataflow: root cannot be an input")
+	}
+	found := false
+	for _, n := range b.nodes {
+		if n == root {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("dataflow: root does not belong to this builder")
+	}
+	return &Graph{Nodes: b.nodes, Root: root}, nil
+}
+
+// PostOrder returns the graph's nodes in post-order from the root — the
+// traversal the compiler maps in (§IV-B1) — visiting each node once.
+func (g *Graph) PostOrder() []*Node {
+	var order []*Node
+	seen := make(map[*Node]bool)
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, in := range n.Inputs {
+			visit(in)
+		}
+		order = append(order, n)
+	}
+	visit(g.Root)
+	return order
+}
+
+// Eval computes the graph's root value functionally with the same
+// fixed-point semantics (and accumulation order) the RCUs use; tests and
+// the CPU baseline compare against it.
+func (g *Graph) Eval() []fixed.Q {
+	memo := make(map[*Node][]fixed.Q)
+	var eval func(n *Node) []fixed.Q
+	eval = func(n *Node) []fixed.Q {
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		var out []fixed.Q
+		switch n.Kind {
+		case KindInput:
+			out = n.Data
+		case KindMatMul:
+			x, y := eval(n.Inputs[0]), eval(n.Inputs[1])
+			m := n.Inputs[0].Cols
+			p := n.Cols
+			out = make([]fixed.Q, n.Elems())
+			for i := 0; i < n.Rows; i++ {
+				for j := 0; j < p; j++ {
+					var acc fixed.Q
+					for k := 0; k < m; k++ {
+						acc = x[i*m+k].MAC(y[k*p+j], acc)
+					}
+					out[i*p+j] = acc
+				}
+			}
+		case KindAdd, KindSub:
+			x, y := eval(n.Inputs[0]), eval(n.Inputs[1])
+			out = make([]fixed.Q, n.Elems())
+			for i := range out {
+				if n.Kind == KindAdd {
+					out[i] = x[i].Add(y[i])
+				} else {
+					out[i] = x[i].Sub(y[i])
+				}
+			}
+		case KindScale:
+			s, x := eval(n.Inputs[0])[0], eval(n.Inputs[1])
+			out = make([]fixed.Q, n.Elems())
+			for i := range out {
+				out[i] = x[i].Mul(s)
+			}
+		case KindReduce:
+			x := eval(n.Inputs[0])
+			var acc fixed.Q
+			for _, v := range x {
+				acc = acc.Add(v)
+			}
+			out = []fixed.Q{acc}
+		case KindDot:
+			x, y := eval(n.Inputs[0]), eval(n.Inputs[1])
+			var acc fixed.Q
+			for i := range x {
+				acc = x[i].MAC(y[i], acc)
+			}
+			out = []fixed.Q{acc}
+		case KindSpMV:
+			x := eval(n.Inputs[0])
+			out = make([]fixed.Q, n.Rows)
+			for i := 0; i < n.Rows; i++ {
+				var acc fixed.Q
+				for k := n.Sp.RowPtr[i]; k < n.Sp.RowPtr[i+1]; k++ {
+					acc = n.Sp.Val[k].MAC(x[n.Sp.ColIdx[k]], acc)
+				}
+				out[i] = acc
+			}
+		default:
+			panic(fmt.Sprintf("dataflow: eval of unknown kind %v", n.Kind))
+		}
+		memo[n] = out
+		return out
+	}
+	return eval(g.Root)
+}

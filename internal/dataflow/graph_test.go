@@ -1,0 +1,174 @@
+package dataflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"snacknoc/internal/fixed"
+)
+
+func vec(vals ...float64) []fixed.Q {
+	out := make([]fixed.Q, len(vals))
+	for i, v := range vals {
+		out[i] = fixed.FromFloat(v)
+	}
+	return out
+}
+
+func TestBuilderShapes(t *testing.T) {
+	b := NewBuilder()
+	a, err := b.Input(vec(1, 2, 3, 4, 5, 6), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 2 || a.Cols != 3 || a.Elems() != 6 {
+		t.Fatalf("input shape %dx%d", a.Rows, a.Cols)
+	}
+	x, _ := b.Input(vec(1, 2, 3), 3, 1)
+	ab, err := b.MatMul(a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.Rows != 2 || ab.Cols != 1 {
+		t.Fatalf("matmul shape %dx%d, want 2x1", ab.Rows, ab.Cols)
+	}
+	if _, err := b.MatMul(x, a); err == nil {
+		t.Fatal("3x1 · 2x3 accepted")
+	}
+	if _, err := b.Input(vec(1), 2, 2); err == nil {
+		t.Fatal("bad input shape accepted")
+	}
+	if _, err := b.Add(a, x); err == nil {
+		t.Fatal("mismatched add accepted")
+	}
+	if _, err := b.Scale(a, x); err == nil {
+		t.Fatal("non-scalar scale factor accepted")
+	}
+	s := b.Scalar(fixed.FromFloat(2))
+	if !s.IsScalar() {
+		t.Fatal("Scalar not 1x1")
+	}
+}
+
+func TestBuildValidatesRoot(t *testing.T) {
+	b := NewBuilder()
+	a, _ := b.Input(vec(1, 2), 1, 2)
+	if _, err := b.Build(nil); err == nil {
+		t.Fatal("nil root accepted")
+	}
+	if _, err := b.Build(a); err == nil {
+		t.Fatal("input root accepted")
+	}
+	other := NewBuilder()
+	ox, _ := other.Input(vec(1, 2), 1, 2)
+	or, _ := other.Reduce(ox)
+	if _, err := b.Build(or); err == nil {
+		t.Fatal("foreign root accepted")
+	}
+}
+
+func TestPostOrderVisitsInputsFirst(t *testing.T) {
+	b := NewBuilder()
+	a, _ := b.Input(vec(1, 0, 0, 1), 2, 2)
+	x, _ := b.Input(vec(1, 2, 3, 4), 2, 2)
+	ab, _ := b.MatMul(a, x)
+	abx, _ := b.MatMul(ab, x) // x reused: must appear once
+	g, _ := b.Build(abx)
+	order := g.PostOrder()
+	pos := map[*Node]int{}
+	for i, n := range order {
+		if _, dup := pos[n]; dup {
+			t.Fatalf("node %d visited twice", n.ID)
+		}
+		pos[n] = i
+	}
+	if len(order) != 4 {
+		t.Fatalf("post-order has %d nodes, want 4", len(order))
+	}
+	for _, n := range order {
+		for _, in := range n.Inputs {
+			if pos[in] > pos[n] {
+				t.Fatalf("input %d visited after consumer %d", in.ID, n.ID)
+			}
+		}
+	}
+	if order[len(order)-1] != abx {
+		t.Fatal("root not last in post-order")
+	}
+}
+
+func TestEvalMatMulIdentity(t *testing.T) {
+	b := NewBuilder()
+	i2, _ := b.Input(vec(1, 0, 0, 1), 2, 2)
+	x, _ := b.Input(vec(3, -1, 2, 5), 2, 2)
+	ab, _ := b.MatMul(i2, x)
+	g, _ := b.Build(ab)
+	got := g.Eval()
+	want := vec(3, -1, 2, 5)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("identity matmul changed values: %v", got)
+		}
+	}
+}
+
+func TestEvalComposite(t *testing.T) {
+	// reduce(a - b) == reduce(a) - reduce(b) in wrapping fixed point.
+	b := NewBuilder()
+	a, _ := b.Input(vec(1, 2, 3, 4), 1, 4)
+	c, _ := b.Input(vec(0.5, 0.5, 0.5, 0.5), 1, 4)
+	diff, _ := b.Sub(a, c)
+	r, _ := b.Reduce(diff)
+	g, _ := b.Build(r)
+	if got := g.Eval()[0].Float(); got != 8 {
+		t.Fatalf("reduce(a-b) = %v, want 8", got)
+	}
+}
+
+func TestSparseValidate(t *testing.T) {
+	ok := &Sparse{Rows: 2, Cols: 2, RowPtr: []int{0, 1, 2}, ColIdx: []int{0, 1}, Val: vec(1, 2)}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Sparse{
+		{Rows: 0, Cols: 2, RowPtr: []int{0}, ColIdx: nil, Val: nil},
+		{Rows: 2, Cols: 2, RowPtr: []int{0, 1}, ColIdx: []int{0}, Val: vec(1)},
+		{Rows: 2, Cols: 2, RowPtr: []int{0, 2, 1}, ColIdx: []int{0, 1}, Val: vec(1, 2)},
+		{Rows: 2, Cols: 2, RowPtr: []int{0, 1, 2}, ColIdx: []int{0, 5}, Val: vec(1, 2)},
+		{Rows: 2, Cols: 2, RowPtr: []int{0, 1, 1}, ColIdx: []int{0, 1}, Val: vec(1, 2)},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("sparse %d validated but should not", i)
+		}
+	}
+}
+
+func TestEvalDotMatchesManual(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		half := len(raw) / 2
+		xs := make([]fixed.Q, half)
+		ys := make([]fixed.Q, half)
+		var want fixed.Q
+		for i := 0; i < half; i++ {
+			xs[i] = fixed.FromFloat(float64(raw[i]) / 256)
+			ys[i] = fixed.FromFloat(float64(raw[half+i]) / 256)
+			want = xs[i].MAC(ys[i], want)
+		}
+		b := NewBuilder()
+		x, _ := b.Input(xs, 1, half)
+		y, _ := b.Input(ys, 1, half)
+		d, _ := b.Dot(x, y)
+		g, _ := b.Build(d)
+		return g.Eval()[0] == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

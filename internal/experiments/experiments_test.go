@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"testing"
+
+	"snacknoc/internal/cpu"
+	"snacknoc/internal/traffic"
+)
+
+func TestTableIMatchesPaper(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	want := []TableIRow{
+		{"DAPPER", 4, 16, 5, 4},
+		{"AxNoC", 3, 16, 4, 4},
+		{"BiNoCHS", 2, 32, 4, 4},
+	}
+	for i, w := range want {
+		if rows[i] != w {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], w)
+		}
+	}
+}
+
+func TestTableIIStructure(t *testing.T) {
+	res := TableII()
+	if len(res.CPMUnits) != 5 || len(res.RCUUnits) != 7 {
+		t.Fatalf("unit counts %d/%d, want 5/7", len(res.CPMUnits), len(res.RCUUnits))
+	}
+	if len(res.Totals) != 5 {
+		t.Fatalf("total rows %d, want 5", len(res.Totals))
+	}
+	if res.Totals[0].PowerW >= res.Totals[4].PowerW {
+		t.Fatal("totals not increasing with RCU count")
+	}
+}
+
+func TestTableVRatios(t *testing.T) {
+	res := TableV()
+	if res.CPU.PowerW/res.Snack.PowerW < 500 {
+		t.Fatalf("power ratio %v too small", res.CPU.PowerW/res.Snack.PowerW)
+	}
+}
+
+func TestFig10SnackShareSmall(t *testing.T) {
+	res := Fig10()
+	if res.PowerPct[1] > 2.5 || res.AreaPct[1] > 2.0 {
+		t.Fatalf("snack uncore shares %.2f%%/%.2f%% exceed the paper's ~1.6%%/1.1%% region",
+			res.PowerPct[1], res.AreaPct[1])
+	}
+}
+
+func TestFig1SmallSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig1 subset skipped in -short")
+	}
+	res, err := RunFig1([]*traffic.Profile{traffic.FMM()}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0].SlowdownPct) != 8 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	// Severe width reduction must hurt more than the unmodified AxNoC.
+	width4 := res.MaxSlowdown("AxNoC Channel Width / 4")
+	ax := res.MaxSlowdown("AxNoC")
+	if width4 <= ax {
+		t.Errorf("width/4 slowdown %.2f%% not above AxNoC %.2f%%", width4, ax)
+	}
+}
+
+func TestFig2QuartilesOrdered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig2 skipped in -short")
+	}
+	res, err := RunFig2(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 4 {
+		t.Fatalf("got %d runs", len(res.Runs))
+	}
+	// The quartile selection must order: FMM/Cholesky low, LULESH
+	// medium-high, Graph500 high.
+	byName := map[string]*BenchRun{}
+	for _, r := range res.Runs {
+		byName[r.Benchmark] = r
+	}
+	if byName["FMM"].XbarMedianPct >= byName["LULESH"].XbarMedianPct {
+		t.Errorf("FMM (%v%%) not below LULESH (%v%%)",
+			byName["FMM"].XbarMedianPct, byName["LULESH"].XbarMedianPct)
+	}
+	if byName["Cholesky"].XbarMedianPct >= byName["LULESH"].XbarMedianPct {
+		t.Errorf("Cholesky (%v%%) not below LULESH (%v%%)",
+			byName["Cholesky"].XbarMedianPct, byName["LULESH"].XbarMedianPct)
+	}
+	if byName["LULESH"].XbarMedianPct >= byName["Graph500"].XbarMedianPct {
+		t.Errorf("LULESH (%v%%) not below Graph500 (%v%%)",
+			byName["LULESH"].XbarMedianPct, byName["Graph500"].XbarMedianPct)
+	}
+	// Link utilization sits well below crossbar utilization (§II-A).
+	for _, r := range res.Runs {
+		if r.LinkMedianPct > r.XbarMedianPct {
+			t.Errorf("%s: link median %v%% above crossbar median %v%%",
+				r.Benchmark, r.LinkMedianPct, r.XbarMedianPct)
+		}
+	}
+}
+
+func TestFig3RaytraceBuffersMostlyEmpty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig3 skipped in -short")
+	}
+	res, err := RunFig3(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ZeroOccupancyPct < 90 {
+		t.Errorf("zero-occupancy %.2f%%, paper reports ~96%%", res.ZeroOccupancyPct)
+	}
+	if res.P99OccupancyPct > 20 {
+		t.Errorf("p99 occupancy %.2f%% of capacity, paper reports contention <=10%%", res.P99OccupancyPct)
+	}
+}
+
+func TestKernelDimsHelpers(t *testing.T) {
+	d := DefaultKernelDims()
+	if d.CPUDims(cpu.KernelSGEMM).N != d.SGEMMDim {
+		t.Fatal("SGEMM dims mismatch")
+	}
+	if d.CPUDims(cpu.KernelSPMV).NNZ == 0 {
+		t.Fatal("SPMV NNZ not derived")
+	}
+	p := PaperKernelDims()
+	if p.SGEMMDim != 4096 || p.ReduceLen != 640_000_000 {
+		t.Fatalf("paper dims wrong: %+v", p)
+	}
+}
+
+func TestBuildKernelGraphsEvaluate(t *testing.T) {
+	dims := KernelDims{SGEMMDim: 6, ReduceLen: 40, MACLen: 40, SPMVDim: 12, SPMVDensity: 0.4}
+	for _, k := range cpu.Kernels() {
+		g, err := BuildKernelGraph(k, dims, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		vals := g.Eval()
+		if len(vals) == 0 {
+			t.Fatalf("%s: empty evaluation", k)
+		}
+		// Same seed reproduces the same graph data.
+		g2, _ := BuildKernelGraph(k, dims, 1)
+		v2 := g2.Eval()
+		for i := range vals {
+			if vals[i] != v2[i] {
+				t.Fatalf("%s: non-deterministic kernel data", k)
+			}
+		}
+	}
+}
+
+func TestCompileKernelProducesValidPrograms(t *testing.T) {
+	dims := KernelDims{SGEMMDim: 6, ReduceLen: 40, MACLen: 40, SPMVDim: 12, SPMVDensity: 0.4}
+	for _, k := range cpu.Kernels() {
+		prog, err := CompileKernel(k, dims, 16, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if prog.Name != string(k) {
+			t.Errorf("%s: program named %q", k, prog.Name)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"snacknoc/internal/core"
+	"snacknoc/internal/cpu"
+	"snacknoc/internal/sim"
+)
+
+// Fig9Row is one kernel's bars in Fig 9: speedups over a single CPU
+// core for 1/2/4/8 CPU cores and for the 16-RCU SnackNoC.
+type Fig9Row struct {
+	Kernel        cpu.KernelName
+	CoreSpeedups  [4]float64 // 1, 2, 4, 8 cores
+	SnackSpeedup  float64
+	SnackCycles   int64 // zero-load kernel completion latency
+	CPUOneCycles  int64 // modeled single-core cycles at the same size
+	Instructions  int   // compiled instruction count
+	InputTokens   int   // CPM-injected transient tokens
+	RCUsUsed      int
+	CheckedOutput bool // functional result verified against reference
+}
+
+// Fig9Result is the kernel performance study (§V-B).
+type Fig9Result struct {
+	Dims KernelDims
+	Rows []Fig9Row
+}
+
+// RunFig9 reproduces Fig 9: each Table III kernel executed on the
+// simulated 16-RCU SnackNoC under a zero-load NoC, against the modeled
+// Haswell server at 1-8 threads, all normalized to one CPU core.
+//
+// The CPU core-count bars are evaluated at the paper's full input sizes
+// (the analytic model costs nothing to scale); the SnackNoC comparison
+// point divides the modeled single-core cycles by the simulated kernel
+// latency at the same reproduction-scale input.
+func RunFig9(dims KernelDims, cpuCfg cpu.CPUConfig) (*Fig9Result, error) {
+	res := &Fig9Result{Dims: dims}
+	paper := PaperKernelDims()
+	for _, k := range cpu.Kernels() {
+		row := Fig9Row{Kernel: k, RCUsUsed: 16}
+		for i, threads := range []int{1, 2, 4, 8} {
+			row.CoreSpeedups[i] = cpu.CPUSpeedup(k, paper.cpuDims(k), threads, cpuCfg)
+		}
+		row.CPUOneCycles = cpu.CPUKernelCycles(k, dims.cpuDims(k), 1, cpuCfg)
+
+		g, err := BuildKernelGraph(k, dims, Seed)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := CompileKernel(k, dims, 16, Seed)
+		if err != nil {
+			return nil, err
+		}
+		row.Instructions = prog.Instructions()
+		row.InputTokens = prog.InputTokens()
+
+		eng := sim.NewEngine()
+		plat, err := core.NewStandalone(eng, 4, 4, true, core.DefaultPlatformConfig())
+		if err != nil {
+			return nil, err
+		}
+		r, err := plat.Run(prog, 1_000_000_000)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s: %w", k, err)
+		}
+		row.SnackCycles = r.Cycles()
+		row.SnackSpeedup = float64(row.CPUOneCycles) / float64(row.SnackCycles)
+
+		// Verify the platform computed the right answer.
+		want := g.Eval()
+		if len(want) != len(r.Values) {
+			return nil, fmt.Errorf("fig9 %s: %d results, want %d", k, len(r.Values), len(want))
+		}
+		for i := range want {
+			if want[i] != r.Values[i] {
+				return nil, fmt.Errorf("fig9 %s: result %d mismatch (%v vs %v)",
+					k, i, r.Values[i].Float(), want[i].Float())
+			}
+		}
+		row.CheckedOutput = true
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Row returns the entry for one kernel, or nil.
+func (r *Fig9Result) Row(k cpu.KernelName) *Fig9Row {
+	for i := range r.Rows {
+		if r.Rows[i].Kernel == k {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}

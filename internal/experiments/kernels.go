@@ -1,0 +1,164 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§V), plus the workload builders they share. Each
+// runner returns a typed result that cmd/snackbench renders in the same
+// rows/series the paper reports, and that bench_test.go regenerates under
+// `go test -bench`.
+package experiments
+
+import (
+	"fmt"
+
+	"snacknoc/internal/compiler"
+	"snacknoc/internal/core"
+	"snacknoc/internal/cpu"
+	"snacknoc/internal/dataflow"
+	"snacknoc/internal/fixed"
+	"snacknoc/internal/traffic"
+)
+
+// KernelDims sizes the four Table III kernels at the reproduction scale.
+// The paper's full inputs (4K×4K SGEMM, 640M reduction…) are scaled down
+// so kernels complete in seconds of simulation; EXPERIMENTS.md records
+// both sizes.
+type KernelDims struct {
+	SGEMMDim    int     // matrix dimension (paper: 4096)
+	ReduceLen   int     // vector length (paper: 640M)
+	MACLen      int     // vector length (paper: 640K)
+	SPMVDim     int     // matrix dimension (paper: 4096)
+	SPMVDensity float64 // stored fraction (paper: 30% at "70% sparsity")
+}
+
+// DefaultKernelDims returns the reproduction scale.
+func DefaultKernelDims() KernelDims {
+	return KernelDims{
+		SGEMMDim:    48,
+		ReduceLen:   20000,
+		MACLen:      20000,
+		SPMVDim:     96,
+		SPMVDensity: 0.30,
+	}
+}
+
+// PaperKernelDims returns the paper's full Table III input sizes, used
+// by the analytic CPU model for the core-count scaling bars (the
+// simulated SnackNoC side runs at DefaultKernelDims; see EXPERIMENTS.md).
+func PaperKernelDims() KernelDims {
+	return KernelDims{
+		SGEMMDim:    4096,
+		ReduceLen:   640_000_000,
+		MACLen:      640_000,
+		SPMVDim:     4096,
+		SPMVDensity: 0.30, // "70% sparsity"
+	}
+}
+
+// CPUDims exposes the CPU-model sizing conversion for a kernel.
+func (d KernelDims) CPUDims(k cpu.KernelName) cpu.KernelDims { return d.cpuDims(k) }
+
+// cpuDims converts to the CPU-model sizing for the same kernel instance.
+func (d KernelDims) cpuDims(k cpu.KernelName) cpu.KernelDims {
+	switch k {
+	case cpu.KernelSGEMM:
+		return cpu.KernelDims{N: d.SGEMMDim}
+	case cpu.KernelReduction:
+		return cpu.KernelDims{N: d.ReduceLen}
+	case cpu.KernelMAC:
+		return cpu.KernelDims{N: d.MACLen}
+	case cpu.KernelSPMV:
+		nnz := int(float64(d.SPMVDim*d.SPMVDim) * d.SPMVDensity)
+		return cpu.KernelDims{N: d.SPMVDim, NNZ: nnz}
+	}
+	panic("experiments: unknown kernel " + string(k))
+}
+
+// BuildKernelGraph constructs the dataflow graph for one Table III
+// kernel with deterministic pseudo-random data.
+func BuildKernelGraph(k cpu.KernelName, d KernelDims, seed uint64) (*dataflow.Graph, error) {
+	rng := traffic.NewRNG(seed)
+	val := func() fixed.Q { return fixed.FromFloat(rng.Float()*2 - 1) }
+	vecOf := func(n int) []fixed.Q {
+		out := make([]fixed.Q, n)
+		for i := range out {
+			out[i] = val()
+		}
+		return out
+	}
+	b := dataflow.NewBuilder()
+	switch k {
+	case cpu.KernelSGEMM:
+		n := d.SGEMMDim
+		a, err := b.Input(vecOf(n*n), n, n)
+		if err != nil {
+			return nil, err
+		}
+		x, err := b.Input(vecOf(n*n), n, n)
+		if err != nil {
+			return nil, err
+		}
+		ab, err := b.MatMul(a, x)
+		if err != nil {
+			return nil, err
+		}
+		return b.Build(ab)
+	case cpu.KernelReduction:
+		v, err := b.Input(vecOf(d.ReduceLen), 1, d.ReduceLen)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.Reduce(v)
+		if err != nil {
+			return nil, err
+		}
+		return b.Build(r)
+	case cpu.KernelMAC:
+		x, err := b.Input(vecOf(d.MACLen), 1, d.MACLen)
+		if err != nil {
+			return nil, err
+		}
+		y, err := b.Input(vecOf(d.MACLen), 1, d.MACLen)
+		if err != nil {
+			return nil, err
+		}
+		dot, err := b.Dot(x, y)
+		if err != nil {
+			return nil, err
+		}
+		return b.Build(dot)
+	case cpu.KernelSPMV:
+		n := d.SPMVDim
+		sp := &dataflow.Sparse{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float() < d.SPMVDensity {
+					sp.ColIdx = append(sp.ColIdx, j)
+					sp.Val = append(sp.Val, val())
+				}
+			}
+			sp.RowPtr[i+1] = len(sp.Val)
+		}
+		x, err := b.Input(vecOf(n), n, 1)
+		if err != nil {
+			return nil, err
+		}
+		y, err := b.SpMV(sp, x)
+		if err != nil {
+			return nil, err
+		}
+		return b.Build(y)
+	}
+	return nil, fmt.Errorf("experiments: unknown kernel %q", k)
+}
+
+// CompileKernel builds and compiles one kernel for an nRCU-node platform.
+func CompileKernel(k cpu.KernelName, d KernelDims, nRCU int, seed uint64) (*core.Program, error) {
+	g, err := BuildKernelGraph(k, d, seed)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := compiler.Compile(g, compiler.DefaultConfig(nRCU))
+	if err != nil {
+		return nil, err
+	}
+	prog.Name = string(k)
+	return prog, nil
+}

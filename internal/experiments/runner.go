@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"fmt"
+
+	"snacknoc/internal/cache"
+	"snacknoc/internal/core"
+	"snacknoc/internal/cpu"
+	"snacknoc/internal/noc"
+	"snacknoc/internal/sim"
+	"snacknoc/internal/stats"
+	"snacknoc/internal/traffic"
+)
+
+// Scale globally trades simulation time for fidelity: it multiplies the
+// per-core instruction budgets of every benchmark run. 1.0 is the
+// reference scale documented in EXPERIMENTS.md.
+type Scale float64
+
+// Seed is the deterministic seed all experiment runs use.
+const Seed uint64 = 2020
+
+// sampleInterval is the utilization sampling window. The paper samples
+// 10 K-cycle windows over multi-billion-cycle runs; scaled runs use 2 K
+// windows to retain comparable series lengths.
+const sampleInterval = 2000
+
+// warmupSkip is the leading fraction of each utilization series excluded
+// from steady-state medians (the paper's full-length traces make warmup
+// negligible; scaled runs must drop it explicitly).
+const warmupSkip = 0.25
+
+// BenchRun is the outcome of executing one benchmark on one NoC.
+type BenchRun struct {
+	Benchmark string
+	NoC       string
+	Runtime   int64
+	// XbarMedianPct is the median (across routers) of per-router
+	// steady-state sample medians, the Fig 2a headline statistic.
+	XbarMedianPct float64
+	XbarMaxPct    float64
+	// LinkMedianPct/LinkMaxPct are the analogous Fig 2b link statistics.
+	LinkMedianPct float64
+	LinkMaxPct    float64
+	// XbarSeries is the per-router crossbar usage over time (Fig 2a).
+	XbarSeries [][]float64
+	// LinkSeries is the per-router mean mesh-link usage over time.
+	LinkSeries [][]float64
+	// BufferCDF is the aggregated input-buffer occupancy CDF (Fig 3).
+	BufferCDF []stats.CDFPoint
+	L1HitRate float64
+	L2HitRate float64
+}
+
+// RunBenchmark executes one Table III benchmark to completion on the
+// given NoC configuration and collects the paper's measurements.
+func RunBenchmark(cfg *noc.Config, prof *traffic.Profile, scale Scale) (*BenchRun, error) {
+	eng := sim.NewEngine()
+	net, err := noc.New(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	net.EnableSampling(sampleInterval)
+	sys, err := cache.NewSystem(eng, net, cache.DefaultSystemConfig())
+	if err != nil {
+		return nil, err
+	}
+	w, err := cpu.NewWorkload(eng, sys, traffic.Scale(prof, float64(scale)), Seed)
+	if err != nil {
+		return nil, err
+	}
+	rt, ok := cpu.Run(eng, w, 2_000_000_000)
+	if !ok {
+		return nil, fmt.Errorf("experiments: %s on %s did not complete", prof.Name, cfg.Name)
+	}
+	return collect(prof.Name, cfg.Name, rt, net, sys), nil
+}
+
+func collect(bench, nocName string, rt int64, net *noc.Network, sys *cache.System) *BenchRun {
+	r := &BenchRun{Benchmark: bench, NoC: nocName, Runtime: rt}
+	var xbarMedians, linkMedians []float64
+	bufHist := stats.NewHistogram(1.0, 20)
+	for _, router := range net.Routers() {
+		xs := router.XbarSeries().Samples()
+		r.XbarSeries = append(r.XbarSeries, xs)
+		med, max := seriesStats(xs)
+		xbarMedians = append(xbarMedians, med)
+		if max > r.XbarMaxPct {
+			r.XbarMaxPct = max
+		}
+
+		ls := meanLinkSeries(router)
+		r.LinkSeries = append(r.LinkSeries, ls)
+		med, max = seriesStats(ls)
+		linkMedians = append(linkMedians, med)
+		if max > r.LinkMaxPct {
+			r.LinkMaxPct = max
+		}
+
+		for i, c := range router.BufferHistogram().Buckets() {
+			for k := int64(0); k < c; k++ {
+				// Re-observe at the bucket's midpoint to aggregate.
+				bufHist.Observe((float64(i) + 0.5) / 20)
+			}
+		}
+	}
+	r.XbarMedianPct = stats.Median(xbarMedians)
+	r.LinkMedianPct = stats.Median(linkMedians)
+	r.BufferCDF = bufHist.CDF()
+	if sys != nil {
+		r.L1HitRate = sys.L1HitRate()
+		r.L2HitRate = sys.L2HitRate()
+	}
+	return r
+}
+
+// seriesStats returns the steady-state median and maximum of a sample
+// series, as percentages.
+func seriesStats(s []float64) (medianPct, maxPct float64) {
+	if len(s) == 0 {
+		return 0, 0
+	}
+	from := int(float64(len(s)) * warmupSkip)
+	tail := s[from:]
+	if len(tail) == 0 {
+		tail = s
+	}
+	max := 0.0
+	for _, v := range tail {
+		if v > max {
+			max = v
+		}
+	}
+	return stats.Median(tail) * 100, max * 100
+}
+
+// meanLinkSeries averages the sampled usage of a router's mesh output
+// links (the per-router line of Fig 2b).
+func meanLinkSeries(r *noc.Router) []float64 {
+	var series [][]float64
+	for d := noc.North; d <= noc.West; d++ {
+		if s := r.LinkSeries(d); s != nil {
+			series = append(series, s.Samples())
+		}
+	}
+	if len(series) == 0 {
+		return nil
+	}
+	n := len(series[0])
+	for _, s := range series {
+		if len(s) < n {
+			n = len(s)
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for _, s := range series {
+			sum += s[i]
+		}
+		out[i] = sum / float64(len(series))
+	}
+	return out
+}
+
+// CoRunSpec describes one multiprogram experiment: a CMP benchmark
+// executing on the cores while a SnackNoC kernel runs continually on the
+// NoC (the Fig 11/12/13 methodology).
+type CoRunSpec struct {
+	Bench    *traffic.Profile
+	Kernel   cpu.KernelName
+	Dims     KernelDims
+	Width    int
+	Height   int
+	Priority bool
+	Scale    Scale
+}
+
+// CoRunResult reports both sides of the interference experiment.
+type CoRunResult struct {
+	Benchmark string
+	Kernel    cpu.KernelName
+	Priority  bool
+	// BaselineRuntime is the benchmark alone; Runtime is with kernels.
+	BaselineRuntime int64
+	Runtime         int64
+	// KernelRuns counts completed kernel executions during the co-run;
+	// KernelCyclesAvg is their mean latency, and ZeroLoadCycles the same
+	// kernel's latency on an otherwise idle platform.
+	KernelRuns      int
+	KernelCyclesAvg float64
+	ZeroLoadCycles  int64
+	// XbarMedianPct is the co-run steady-state crossbar median (Fig 11).
+	XbarMedianPct float64
+	XbarSeries    [][]float64
+	Offloaded     int64
+}
+
+// ImpactPct is the benchmark slowdown caused by the co-running kernels.
+func (r *CoRunResult) ImpactPct() float64 {
+	if r.BaselineRuntime == 0 {
+		return 0
+	}
+	return (float64(r.Runtime) - float64(r.BaselineRuntime)) / float64(r.BaselineRuntime) * 100
+}
+
+// KernelSlowdownPct is how much the CMP traffic slowed the kernels
+// relative to zero load (§V-C reports ≤3.86%).
+func (r *CoRunResult) KernelSlowdownPct() float64 {
+	if r.ZeroLoadCycles == 0 || r.KernelRuns == 0 {
+		return 0
+	}
+	return (r.KernelCyclesAvg - float64(r.ZeroLoadCycles)) / float64(r.ZeroLoadCycles) * 100
+}
+
+// RunCoRun executes the full interference experiment: the benchmark
+// alone, the kernel alone at zero load, and the two together.
+func RunCoRun(spec CoRunSpec) (*CoRunResult, error) {
+	if spec.Width == 0 {
+		spec.Width, spec.Height = 4, 4
+	}
+	nRCU := spec.Width * spec.Height
+	prog, err := CompileKernel(spec.Kernel, spec.Dims, nRCU, Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &CoRunResult{Benchmark: spec.Bench.Name, Kernel: spec.Kernel, Priority: spec.Priority}
+
+	// Leg 1: benchmark alone on the snack-capable NoC (RCUs present but
+	// idle), the Fig 12 baseline.
+	baseCfg := noc.SnackPlatform(spec.Width, spec.Height, spec.Priority)
+	base, err := runCoRunLeg(baseCfg, spec, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.BaselineRuntime = base.runtime
+
+	// Leg 2: kernel alone at zero load.
+	zeroEng := sim.NewEngine()
+	zeroPlat, err := core.NewStandalone(zeroEng, spec.Width, spec.Height, spec.Priority, core.DefaultPlatformConfig())
+	if err != nil {
+		return nil, err
+	}
+	zr, err := zeroPlat.Run(prog, 500_000_000)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: zero-load %s: %w", spec.Kernel, err)
+	}
+	res.ZeroLoadCycles = zr.Cycles()
+
+	// Leg 3: co-run.
+	co, err := runCoRunLeg(noc.SnackPlatform(spec.Width, spec.Height, spec.Priority), spec, prog, res)
+	if err != nil {
+		return nil, err
+	}
+	res.Runtime = co.runtime
+	res.XbarMedianPct = co.xbarMedian
+	res.XbarSeries = co.xbarSeries
+	return res, nil
+}
+
+type legResult struct {
+	runtime    int64
+	xbarMedian float64
+	xbarSeries [][]float64
+}
+
+// runCoRunLeg runs the benchmark, optionally with kernels resubmitted
+// continually. When prog is non-nil, kernel stats accumulate into out.
+func runCoRunLeg(cfg *noc.Config, spec CoRunSpec, prog *core.Program, out *CoRunResult) (*legResult, error) {
+	eng := sim.NewEngine()
+	net, err := noc.New(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	net.EnableSampling(sampleInterval)
+	sys, err := cache.NewSystem(eng, net, cache.DefaultSystemConfig())
+	if err != nil {
+		return nil, err
+	}
+	w, err := cpu.NewWorkload(eng, sys, traffic.Scale(spec.Bench, float64(spec.Scale)), Seed)
+	if err != nil {
+		return nil, err
+	}
+	var plat *core.Platform
+	if prog != nil {
+		plat, err = core.AttachToSystem(eng, sys, core.DefaultPlatformConfig())
+		if err != nil {
+			return nil, err
+		}
+		var kernelCycles int64
+		var resubmit func(r *core.Result)
+		resubmit = func(r *core.Result) {
+			if r != nil {
+				out.KernelRuns++
+				kernelCycles += r.Cycles()
+				out.KernelCyclesAvg = float64(kernelCycles) / float64(out.KernelRuns)
+			}
+			if w.Done() {
+				return
+			}
+			eng.ScheduleAfter(1, func() {
+				if !plat.CPM.Submit(prog, eng.Cycle(), resubmit) {
+					panic("experiments: CPM busy at resubmission")
+				}
+			})
+		}
+		resubmit(nil)
+	}
+	if _, ok := cpu.Run(eng, w, 2_000_000_000); !ok {
+		return nil, fmt.Errorf("experiments: co-run %s did not complete", spec.Bench.Name)
+	}
+	if plat != nil {
+		out.Offloaded = plat.CPM.Offloaded()
+	}
+	// Interference is measured on the mean per-core finish time; see
+	// cpu.Workload.MeanFinish for why the maximum is too noisy at
+	// reproduction scale.
+	leg := &legResult{runtime: int64(w.MeanFinish() * 16)}
+	var medians []float64
+	for _, r := range net.Routers() {
+		s := r.XbarSeries().Samples()
+		leg.xbarSeries = append(leg.xbarSeries, s)
+		med, _ := seriesStats(s)
+		medians = append(medians, med)
+	}
+	leg.xbarMedian = stats.Median(medians)
+	return leg, nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"snacknoc/internal/noc"
+	"snacknoc/internal/power"
+)
+
+// TableIRow is one column of Table I (baseline NoC configurations).
+type TableIRow struct {
+	Name          string
+	PipelineDepth int // stages including link traversal
+	ChannelWidthB int
+	VirtualChans  int
+	BufPerVC      int
+}
+
+// TableI returns the baseline NoC configurations.
+func TableI() []TableIRow {
+	out := []TableIRow{}
+	for _, cfg := range []*noc.Config{noc.DAPPER(4, 4), noc.AxNoC(4, 4), noc.BiNoCHS(4, 4)} {
+		out = append(out, TableIRow{
+			Name:          cfg.Name,
+			PipelineDepth: cfg.RouterLatency + cfg.LinkLatency,
+			ChannelWidthB: cfg.ChannelWidthBytes,
+			VirtualChans:  cfg.VNets[0].VCs,
+			BufPerVC:      cfg.VNets[0].BufDepth,
+		})
+	}
+	return out
+}
+
+// TableIIResult is the area/power table: per-unit costs plus the scaling
+// totals.
+type TableIIResult struct {
+	CPMUnits []power.Cost
+	RCUUnits []power.Cost
+	Totals   []power.Cost
+}
+
+// TableII reproduces Table II from the power model.
+func TableII() *TableIIResult {
+	res := &TableIIResult{
+		CPMUnits: power.CPMUnits(),
+		RCUUnits: power.RCUUnits(),
+	}
+	for _, n := range []int{16, 32, 64, 128, 147} {
+		res.Totals = append(res.Totals, power.SnackNoCTotal(n))
+	}
+	return res
+}
+
+// TableVResult compares the CPU and SnackNoC platforms.
+type TableVResult struct {
+	CPU   power.Cost
+	Snack power.Cost
+}
+
+// TableV reproduces Table V.
+func TableV() *TableVResult {
+	return &TableVResult{
+		CPU:   power.XeonE52660v3(),
+		Snack: power.SnackNoCTotal(16),
+	}
+}
+
+// Fig10Result is the uncore power/area breakdown.
+type Fig10Result struct {
+	Breakdown power.Breakdown
+	PowerPct  [4]float64 // L2, SnackNoC, L1, NoC
+	AreaPct   [4]float64
+}
+
+// Fig10 reproduces the uncore decomposition.
+func Fig10() *Fig10Result {
+	b := power.Uncore(power.DefaultUncore())
+	return &Fig10Result{Breakdown: b, PowerPct: b.PowerPct(), AreaPct: b.AreaPct()}
+}

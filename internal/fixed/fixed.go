@@ -1,0 +1,75 @@
+// Package fixed implements the 32-bit fixed-point arithmetic used by the
+// SnackNoC Router Compute Units. The paper's RTL uses "32-bit fixed point
+// functional units to keep area costs low as opposed to floating point
+// units" (§III-F); we adopt the common Q16.16 format: 1 sign bit, 15
+// integer bits, 16 fractional bits.
+//
+// Arithmetic wraps on overflow, exactly as a 32-bit datapath would.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// FracBits is the number of fractional bits in the Q16.16 format.
+const FracBits = 16
+
+// One is the fixed-point representation of 1.0.
+const One Q = 1 << FracBits
+
+// Q is a Q16.16 fixed-point number stored in 32 bits.
+type Q int32
+
+// FromInt converts an integer to fixed point (wrapping like the hardware
+// if it exceeds the 15-bit integer range).
+func FromInt(i int) Q { return Q(int32(i) << FracBits) }
+
+// FromFloat converts a float64 to the nearest representable fixed-point
+// value, saturating at the representable range the way a converter front
+// end would before handing data to the datapath.
+func FromFloat(f float64) Q {
+	v := math.Round(f * float64(One))
+	if v > math.MaxInt32 {
+		return Q(math.MaxInt32)
+	}
+	if v < math.MinInt32 {
+		return Q(math.MinInt32)
+	}
+	return Q(int32(v))
+}
+
+// Float returns the value as a float64.
+func (q Q) Float() float64 { return float64(q) / float64(One) }
+
+// Int returns the integer part, truncating toward zero.
+func (q Q) Int() int { return int(int32(q) / int32(One)) }
+
+// Add returns q + r with 32-bit wraparound.
+func (q Q) Add(r Q) Q { return Q(int32(q) + int32(r)) }
+
+// Sub returns q - r with 32-bit wraparound.
+func (q Q) Sub(r Q) Q { return Q(int32(q) - int32(r)) }
+
+// Mul returns q * r, computed in a 64-bit intermediate and truncated back
+// to 32 bits, mirroring a hardware multiplier with a shifted product.
+func (q Q) Mul(r Q) Q {
+	p := int64(q) * int64(r) >> FracBits
+	return Q(int32(p))
+}
+
+// MAC returns acc + q*r, the multiply-accumulate primitive of the RCU.
+func (q Q) MAC(r, acc Q) Q { return acc.Add(q.Mul(r)) }
+
+// Neg returns -q.
+func (q Q) Neg() Q { return Q(-int32(q)) }
+
+// String formats the value in decimal with its raw bits.
+func (q Q) String() string { return fmt.Sprintf("%g", q.Float()) }
+
+// ApproxEqual reports whether q and r are within eps (a float tolerance)
+// of each other. Fixed-point truncation makes exact float comparisons
+// inappropriate in tests.
+func (q Q) ApproxEqual(r Q, eps float64) bool {
+	return math.Abs(q.Float()-r.Float()) <= eps
+}

@@ -1,0 +1,79 @@
+package noc
+
+import (
+	"testing"
+
+	"snacknoc/internal/sim"
+)
+
+// measureDrain injects n single-flit packets at node 0 as fast as the NI
+// accepts them and returns cycles per packet measured at the sink.
+func measureDrain(t *testing.T, dst func(i int) NodeID, n int) float64 {
+	t.Helper()
+	cfg := SnackPlatform(4, 4, true)
+	eng := sim.NewEngine()
+	net, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume every snack flit at its destination router, like an RCU.
+	got := 0
+	for i := 0; i < cfg.Nodes(); i++ {
+		net.AttachCompute(NodeID(i), consumeAll{&got})
+	}
+	injected := 0
+	src := &pump{net: net, n: n, dst: dst, injected: &injected}
+	eng.Register(src)
+	eng.RunUntil(func() bool { return got == n }, 1_000_000)
+	if got != n {
+		t.Fatalf("delivered %d of %d", got, n)
+	}
+	return float64(eng.Cycle()) / float64(n)
+}
+
+type consumeAll struct{ got *int }
+
+func (c consumeAll) OnArrival(f *Flit, cycle int64) bool {
+	*c.got++
+	return true
+}
+
+type pump struct {
+	net      *Network
+	n        int
+	dst      func(i int) NodeID
+	injected *int
+}
+
+func (p *pump) Name() string { return "pump" }
+func (p *pump) Evaluate(cycle int64) {
+	if *p.injected >= p.n {
+		return
+	}
+	if p.net.NI(0).QueueLen(p.net.Cfg().SnackVNet) >= 6 {
+		return
+	}
+	p.net.Inject(&Packet{
+		Src: 0, Dst: p.dst(*p.injected),
+		VNet: p.net.Cfg().SnackVNet, SizeBytes: 16,
+	}, cycle)
+	*p.injected++
+}
+func (p *pump) Advance(int64) {}
+
+// TestSnackStreamDrainRate documents the NI->router throughput for
+// single-flit snack streams: the CPM's 1-instruction-per-cycle issue
+// rate depends on it.
+func TestSnackStreamDrainRate(t *testing.T) {
+	same := measureDrain(t, func(int) NodeID { return 5 }, 2000)
+	rr := measureDrain(t, func(i int) NodeID { return NodeID(i % 16) }, 2000)
+	far := measureDrain(t, func(int) NodeID { return 15 }, 2000)
+	self := measureDrain(t, func(int) NodeID { return 0 }, 2000)
+	chunk := measureDrain(t, func(i int) NodeID { return NodeID((i / 125) % 16) }, 2000)
+	t.Logf("cycles/packet: same-dst(5)=%.2f round-robin=%.2f far-dst(15)=%.2f self=%.2f chunked=%.2f",
+		same, rr, far, self, chunk)
+	if same > 1.35 || rr > 1.35 || far > 1.35 || self > 1.35 || chunk > 1.35 {
+		t.Errorf("snack stream drain too slow: same=%.2f rr=%.2f far=%.2f self=%.2f chunk=%.2f (want ~1.0)",
+			same, rr, far, self, chunk)
+	}
+}

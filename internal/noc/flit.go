@@ -1,0 +1,111 @@
+package noc
+
+import "fmt"
+
+// FlitType distinguishes the positions of a flit within a packet under
+// wormhole switching.
+type FlitType int
+
+// Flit positions within a packet.
+const (
+	HeadFlit FlitType = iota
+	BodyFlit
+	TailFlit
+	HeadTailFlit // single-flit packet
+)
+
+// String returns a short name for traces.
+func (t FlitType) String() string {
+	switch t {
+	case HeadFlit:
+		return "H"
+	case BodyFlit:
+		return "B"
+	case TailFlit:
+		return "T"
+	case HeadTailFlit:
+		return "HT"
+	}
+	return fmt.Sprintf("FlitType(%d)", int(t))
+}
+
+// Packet is the unit of injection: a protocol message (cache request,
+// data response, SnackNoC instruction or data token) that the network
+// interface serializes into flits.
+type Packet struct {
+	ID        uint64
+	Src, Dst  NodeID
+	VNet      int
+	SizeBytes int
+	// Payload carries the protocol message. For snack-vnet packets it is
+	// a *core* token; for cache traffic a cache message.
+	Payload any
+	// Loop marks a transient data token that follows the static loop
+	// route instead of routing directly to Dst (§III-E).
+	Loop bool
+	// InjectCycle is stamped by the network interface at injection.
+	InjectCycle int64
+}
+
+// Flit is the atomic transfer unit; one flit crosses one link per cycle.
+type Flit struct {
+	PacketID    uint64
+	Type        FlitType
+	Src, Dst    NodeID
+	VNet        int
+	VC          int // input VC at the current router (set by upstream VA)
+	SeqInPkt    int
+	PktFlits    int
+	Payload     any // carried on head/headtail flits only
+	Loop        bool
+	InjectCycle int64
+
+	// router-internal state, reset at each hop
+	outPort    Direction
+	eligibleAt int64
+}
+
+// IsHead reports whether the flit opens a packet.
+func (f *Flit) IsHead() bool { return f.Type == HeadFlit || f.Type == HeadTailFlit }
+
+// IsTail reports whether the flit closes a packet.
+func (f *Flit) IsTail() bool { return f.Type == TailFlit || f.Type == HeadTailFlit }
+
+// String formats the flit for traces.
+func (f *Flit) String() string {
+	return fmt.Sprintf("flit{pkt=%d %s %d->%d vnet=%d vc=%d %d/%d}",
+		f.PacketID, f.Type, f.Src, f.Dst, f.VNet, f.VC, f.SeqInPkt+1, f.PktFlits)
+}
+
+// flitize serializes a packet into flits for the given channel width.
+func flitize(p *Packet, cfg *Config) []*Flit {
+	n := cfg.FlitsFor(p.SizeBytes)
+	flits := make([]*Flit, n)
+	for i := 0; i < n; i++ {
+		t := BodyFlit
+		switch {
+		case n == 1:
+			t = HeadTailFlit
+		case i == 0:
+			t = HeadFlit
+		case i == n-1:
+			t = TailFlit
+		}
+		f := &Flit{
+			PacketID:    p.ID,
+			Type:        t,
+			Src:         p.Src,
+			Dst:         p.Dst,
+			VNet:        p.VNet,
+			SeqInPkt:    i,
+			PktFlits:    n,
+			Loop:        p.Loop,
+			InjectCycle: p.InjectCycle,
+		}
+		if f.IsHead() {
+			f.Payload = p.Payload
+		}
+		flits[i] = f
+	}
+	return flits
+}

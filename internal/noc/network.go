@@ -1,0 +1,259 @@
+package noc
+
+import (
+	"fmt"
+
+	"snacknoc/internal/sim"
+)
+
+// Network is a complete mesh NoC instance: routers, links, and network
+// interfaces, registered with a simulation engine.
+type Network struct {
+	cfg     *Config
+	routers []*Router
+	nis     []*NI
+	loop    *LoopRoute
+
+	nextPktID uint64
+}
+
+// New constructs the mesh described by cfg and registers every router and
+// network interface with the engine.
+func New(eng *sim.Engine, cfg *Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg}
+	nodes := cfg.Nodes()
+	n.routers = make([]*Router, nodes)
+	n.nis = make([]*NI, nodes)
+	for i := 0; i < nodes; i++ {
+		n.routers[i] = newRouter(NodeID(i), cfg)
+		n.nis[i] = newNI(NodeID(i), cfg)
+	}
+
+	// Mesh links: for each adjacent pair, create the downstream input
+	// port first, then mirror it at the upstream output.
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			r := n.routers[cfg.Node(x, y)]
+			if x+1 < cfg.Width {
+				east := n.routers[cfg.Node(x+1, y)]
+				r.addOutput(East, east.addInput(West, false), false)
+				east.addOutput(West, r.addInput(East, false), false)
+			}
+			if y+1 < cfg.Height {
+				south := n.routers[cfg.Node(x, y+1)]
+				r.addOutput(South, south.addInput(North, false), false)
+				south.addOutput(North, r.addInput(South, false), false)
+			}
+		}
+	}
+
+	// Local ports: NI <-> router.
+	for i := 0; i < nodes; i++ {
+		r := n.routers[i]
+		ni := n.nis[i]
+		ni.connect(r.addInput(Local, false))
+		eject := &inputPort{dir: Local, in: ni.fromRouter, credit: &wire[creditMsg]{}}
+		r.addOutput(Local, eject, true)
+	}
+
+	// Compute ports and the transient-data loop route.
+	if cfg.SnackVNet >= 0 {
+		n.loop = NewLoopRoute(cfg)
+		for i := 0; i < nodes; i++ {
+			n.routers[i].loop = n.loop
+		}
+	}
+	if cfg.ComputePort {
+		for i := 0; i < nodes; i++ {
+			n.routers[i].addInput(Compute, true)
+		}
+	}
+
+	for i := 0; i < nodes; i++ {
+		n.routers[i].finalize()
+		eng.Register(n.routers[i])
+		eng.Register(n.nis[i])
+	}
+	return n, nil
+}
+
+// Cfg returns the network configuration.
+func (n *Network) Cfg() *Config { return n.cfg }
+
+// Loop returns the transient-data loop route (nil without a snack vnet).
+func (n *Network) Loop() *LoopRoute { return n.loop }
+
+// Router returns the router at the given node.
+func (n *Network) Router(id NodeID) *Router { return n.routers[id] }
+
+// NI returns the network interface at the given node.
+func (n *Network) NI(id NodeID) *NI { return n.nis[id] }
+
+// Routers returns all routers in node order.
+func (n *Network) Routers() []*Router { return n.routers }
+
+// AttachClient registers the packet receiver for a node.
+func (n *Network) AttachClient(id NodeID, c Client) { n.nis[id].AttachClient(c) }
+
+// AttachCompute installs a compute unit on a router and returns the
+// injection port it uses to push result flits into the crossbar.
+func (n *Network) AttachCompute(id NodeID, cu ComputeUnit) *InjectPort {
+	if !n.cfg.ComputePort {
+		panic("noc: AttachCompute on a network without compute ports")
+	}
+	r := n.routers[id]
+	r.attachCompute(cu)
+	in := r.inputs[Compute]
+	p := &InjectPort{
+		node:     id,
+		vnet:     n.cfg.SnackVNet,
+		net:      n,
+		out:      in.in,
+		creditIn: in.credit,
+		credits:  make([]int, n.cfg.VNets[n.cfg.SnackVNet].VCs),
+	}
+	for i := range p.credits {
+		p.credits[i] = n.cfg.VNets[n.cfg.SnackVNet].BufDepth
+	}
+	return p
+}
+
+// Inject stamps and queues a packet at its source NI. The caller must be
+// in its Evaluate phase; the packet enters the network on a later cycle.
+func (n *Network) Inject(p *Packet, cycle int64) {
+	if p.Src < 0 || int(p.Src) >= len(n.nis) {
+		panic(fmt.Sprintf("noc: inject from invalid node %d", p.Src))
+	}
+	n.nextPktID++
+	p.ID = n.nextPktID
+	p.InjectCycle = cycle
+	n.nis[p.Src].Inject(p, cycle)
+}
+
+// NewPacketID reserves a packet ID for directly injected compute flits.
+func (n *Network) NewPacketID() uint64 {
+	n.nextPktID++
+	return n.nextPktID
+}
+
+// EnableSampling turns on time-series sampling (crossbar and links) on
+// every router with the given interval in cycles.
+func (n *Network) EnableSampling(interval int64) {
+	for _, r := range n.routers {
+		r.EnableSampling(interval)
+	}
+}
+
+// TotalInjected returns packets injected across all nodes.
+func (n *Network) TotalInjected() int64 {
+	var t int64
+	for _, ni := range n.nis {
+		t += ni.InjectedPackets()
+	}
+	return t
+}
+
+// TotalEjected returns packets delivered across all nodes.
+func (n *Network) TotalEjected() int64 {
+	var t int64
+	for _, ni := range n.nis {
+		t += ni.EjectedPackets()
+	}
+	return t
+}
+
+// AvgPacketLatency returns the mean packet latency in cycles over all
+// nodes for the given vnet (0 when no packets were delivered).
+func (n *Network) AvgPacketLatency(vnet int) float64 {
+	var sum, count int64
+	for _, ni := range n.nis {
+		sum += ni.latSum[vnet]
+		count += ni.latCount[vnet]
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(sum) / float64(count)
+}
+
+// MeshLinkUtils returns the cumulative utilization fraction of every mesh
+// link (excluding local/ejection links), keyed by "router->dir".
+func (n *Network) MeshLinkUtils() map[string]float64 {
+	m := make(map[string]float64)
+	for _, r := range n.routers {
+		for d := North; d <= West; d++ {
+			if u := r.LinkUtil(d); u != nil {
+				m[fmt.Sprintf("r%d->%s", r.id, d)] = u.Fraction()
+			}
+		}
+	}
+	return m
+}
+
+// InjectPort lets a compute unit push single-flit snack packets directly
+// into its router's compute input port, subject to credit flow control.
+// Update must be called once per cycle from the unit's Evaluate; Send must
+// be called from the unit's Advance phase.
+type InjectPort struct {
+	node     NodeID
+	vnet     int
+	net      *Network
+	out      *wire[*Flit]
+	creditIn *wire[creditMsg]
+	credits  []int
+	rr       int
+}
+
+// Node returns the node this port injects at.
+func (p *InjectPort) Node() NodeID { return p.node }
+
+// Update ingests returned credits; call once per cycle before CanSend.
+func (p *InjectPort) Update(cycle int64) {
+	for _, msg := range p.creditIn.popReady(cycle) {
+		p.credits[msg.vc]++
+	}
+}
+
+// FreeSlots returns the number of free downstream buffer slots.
+func (p *InjectPort) FreeSlots() int {
+	n := 0
+	for _, c := range p.credits {
+		n += c
+	}
+	return n
+}
+
+// CanSend reports whether at least one flit can be sent this cycle.
+func (p *InjectPort) CanSend() bool { return p.FreeSlots() > 0 }
+
+// Send injects a single-flit snack packet carrying the given payload.
+// It returns false when no credit is available. Call during Advance.
+func (p *InjectPort) Send(dst NodeID, payload any, loop bool, cycle int64) bool {
+	nvc := len(p.credits)
+	for i := 0; i < nvc; i++ {
+		c := (p.rr + i) % nvc
+		if p.credits[c] <= 0 {
+			continue
+		}
+		p.credits[c]--
+		p.rr = c + 1
+		f := &Flit{
+			PacketID:    p.net.NewPacketID(),
+			Type:        HeadTailFlit,
+			Src:         p.node,
+			Dst:         dst,
+			VNet:        p.vnet,
+			VC:          c,
+			PktFlits:    1,
+			Payload:     payload,
+			Loop:        loop,
+			InjectCycle: cycle,
+		}
+		p.out.push(f, cycle+1)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,274 @@
+package noc
+
+import (
+	"fmt"
+
+	"snacknoc/internal/stats"
+)
+
+// Client receives packets ejected at a node: a cache controller, memory
+// controller, traffic sink, or the SnackNoC Central Packet Manager.
+type Client interface {
+	Deliver(p *Packet, cycle int64)
+}
+
+// txn is one packet mid-injection: its remaining flits and the router
+// input VC it holds.
+type txn struct {
+	flits []*Flit
+	vnet  int
+	vc    int
+}
+
+// injectReq is a staged Inject call; it becomes visible to the NI on the
+// cycle after it was issued, keeping client/NI ordering deterministic.
+type injectReq struct {
+	pkt   *Packet
+	stamp int64
+}
+
+// NI is the network interface of one node: it serializes injected packets
+// into flits (performing VC allocation on the router's local input port),
+// respects credit-based flow control, and reassembles ejected flits back
+// into packets for delivery to the attached Client.
+type NI struct {
+	node NodeID
+	cfg  *Config
+
+	toRouter   *wire[*Flit]     // router local-port arrivals (we write)
+	creditIn   *wire[creditMsg] // credits from the router (we read)
+	fromRouter *wire[*Flit]     // ejected flits (we read)
+
+	credits [][]int
+	vcBusy  [][]bool
+	vcRR    []int
+
+	incoming []injectReq
+	waiting  [][]*Packet // per-vnet FIFO of packets awaiting a VC
+	active   []*txn
+	txRR     int
+	staged   *Flit
+
+	client Client
+	reasm  map[uint64]*reasmState
+
+	// statistics
+	injected  stats.Counter
+	ejected   stats.Counter
+	flitsIn   stats.Counter
+	flitsOut  stats.Counter
+	latSum    []int64 // per-vnet total packet latency
+	latCount  []int64
+	maxQueued int
+}
+
+type reasmState struct {
+	pkt  *Packet
+	seen int
+}
+
+func newNI(node NodeID, cfg *Config) *NI {
+	return &NI{
+		node:       node,
+		cfg:        cfg,
+		fromRouter: &wire[*Flit]{},
+		waiting:    make([][]*Packet, len(cfg.VNets)),
+		reasm:      make(map[uint64]*reasmState),
+		latSum:     make([]int64, len(cfg.VNets)),
+		latCount:   make([]int64, len(cfg.VNets)),
+	}
+}
+
+// Name implements sim.Component.
+func (ni *NI) Name() string { return fmt.Sprintf("ni%d", ni.node) }
+
+// connect wires the NI to its router's local input port.
+func (ni *NI) connect(local *inputPort) {
+	ni.toRouter = local.in
+	ni.creditIn = local.credit
+	ni.credits = make([][]int, len(ni.cfg.VNets))
+	ni.vcBusy = make([][]bool, len(ni.cfg.VNets))
+	ni.vcRR = make([]int, len(ni.cfg.VNets))
+	for v, vn := range ni.cfg.VNets {
+		ni.credits[v] = make([]int, vn.VCs)
+		ni.vcBusy[v] = make([]bool, vn.VCs)
+		for c := range ni.credits[v] {
+			ni.credits[v][c] = vn.BufDepth
+		}
+	}
+}
+
+// AttachClient sets the packet receiver for this node.
+func (ni *NI) AttachClient(c Client) { ni.client = c }
+
+// Inject queues a packet for injection. The queue is unbounded (clients
+// model their own back-pressure); the packet enters NI processing on the
+// following cycle. The packet's ID and InjectCycle must already be set by
+// the Network.
+func (ni *NI) Inject(p *Packet, cycle int64) {
+	ni.incoming = append(ni.incoming, injectReq{pkt: p, stamp: cycle})
+}
+
+// QueueLen returns the number of packets queued or mid-flight at the NI
+// for the given vnet, which the CPM uses for self-throttling.
+func (ni *NI) QueueLen(vnet int) int {
+	n := len(ni.waiting[vnet])
+	for _, t := range ni.active {
+		if t.vnet == vnet {
+			n++
+		}
+	}
+	for _, r := range ni.incoming {
+		if r.pkt.VNet == vnet {
+			n++
+		}
+	}
+	return n
+}
+
+// InjectedPackets returns the count of packets accepted for injection.
+func (ni *NI) InjectedPackets() int64 { return ni.injected.Value() }
+
+// EjectedPackets returns the count of packets delivered to the client.
+func (ni *NI) EjectedPackets() int64 { return ni.ejected.Value() }
+
+// AvgLatency returns the mean inject-to-deliver packet latency in cycles
+// for the given vnet at this node's ejection side (0 when no packets).
+func (ni *NI) AvgLatency(vnet int) float64 {
+	if ni.latCount[vnet] == 0 {
+		return 0
+	}
+	return float64(ni.latSum[vnet]) / float64(ni.latCount[vnet])
+}
+
+// Evaluate implements sim.Component: credit ingestion, VC allocation for
+// waiting packets, flit transmission, and ejection-side reassembly.
+func (ni *NI) Evaluate(cycle int64) {
+	// Fast path: a fully idle NI (the common case on the paper's
+	// low-utilization NoCs) costs four length checks per cycle.
+	if len(ni.incoming) == 0 && len(ni.active) == 0 &&
+		ni.creditIn.pending() == 0 && ni.fromRouter.pending() == 0 {
+		return
+	}
+	ni.creditIn.drainReady(cycle, func(msg creditMsg) {
+		ni.credits[msg.vnet][msg.vc]++
+	})
+
+	// Stage newly injected packets (only those issued on earlier cycles).
+	keep := ni.incoming[:0]
+	for _, req := range ni.incoming {
+		if req.stamp < cycle {
+			ni.waiting[req.pkt.VNet] = append(ni.waiting[req.pkt.VNet], req.pkt)
+			ni.injected.Inc()
+		} else {
+			keep = append(keep, req)
+		}
+	}
+	ni.incoming = keep
+	if q := ni.totalQueued(); q > ni.maxQueued {
+		ni.maxQueued = q
+	}
+
+	// VC allocation: the front packet of each vnet queue may claim a free
+	// VC on the router's local input port.
+	for v := range ni.waiting {
+		if len(ni.waiting[v]) == 0 {
+			continue
+		}
+		nvc := len(ni.vcBusy[v])
+		for j := 0; j < nvc; j++ {
+			c := (ni.vcRR[v] + j) % nvc
+			if ni.vcBusy[v][c] {
+				continue
+			}
+			p := ni.waiting[v][0]
+			ni.waiting[v] = ni.waiting[v][1:]
+			ni.vcBusy[v][c] = true
+			ni.vcRR[v] = c + 1
+			flits := flitize(p, ni.cfg)
+			for _, f := range flits {
+				f.VC = c
+			}
+			ni.active = append(ni.active, &txn{flits: flits, vnet: v, vc: c})
+			break
+		}
+	}
+
+	// Transmit: one flit per cycle across all vnets, round-robin over
+	// active transmissions with credit available.
+	if ni.staged == nil && len(ni.active) > 0 {
+		n := len(ni.active)
+		for i := 0; i < n; i++ {
+			t := ni.active[(ni.txRR+i)%n]
+			if ni.credits[t.vnet][t.vc] <= 0 {
+				continue
+			}
+			f := t.flits[0]
+			t.flits = t.flits[1:]
+			ni.credits[t.vnet][t.vc]--
+			ni.staged = f
+			ni.flitsOut.Inc()
+			ni.txRR = (ni.txRR + i + 1) % n
+			if len(t.flits) == 0 {
+				ni.vcBusy[t.vnet][t.vc] = false
+				ni.removeTxn(t)
+			}
+			break
+		}
+	}
+
+	// Ejection: reassemble arriving flits into packets.
+	for _, f := range ni.fromRouter.popReady(cycle) {
+		ni.flitsIn.Inc()
+		st := ni.reasm[f.PacketID]
+		if st == nil {
+			st = &reasmState{pkt: &Packet{
+				ID:          f.PacketID,
+				Src:         f.Src,
+				Dst:         f.Dst,
+				VNet:        f.VNet,
+				InjectCycle: f.InjectCycle,
+			}}
+			ni.reasm[f.PacketID] = st
+		}
+		if f.IsHead() {
+			st.pkt.Payload = f.Payload
+			st.pkt.Loop = f.Loop
+		}
+		st.seen++
+		if st.seen == f.PktFlits {
+			delete(ni.reasm, f.PacketID)
+			ni.ejected.Inc()
+			ni.latSum[f.VNet] += cycle - f.InjectCycle
+			ni.latCount[f.VNet]++
+			if ni.client != nil {
+				ni.client.Deliver(st.pkt, cycle)
+			}
+		}
+	}
+}
+
+// Advance pushes the staged flit onto the local link.
+func (ni *NI) Advance(cycle int64) {
+	if ni.staged != nil {
+		ni.toRouter.push(ni.staged, cycle+1)
+		ni.staged = nil
+	}
+}
+
+func (ni *NI) removeTxn(t *txn) {
+	for i, a := range ni.active {
+		if a == t {
+			ni.active = append(ni.active[:i], ni.active[i+1:]...)
+			return
+		}
+	}
+}
+
+func (ni *NI) totalQueued() int {
+	n := len(ni.incoming) + len(ni.active)
+	for _, w := range ni.waiting {
+		n += len(w)
+	}
+	return n
+}

@@ -1,0 +1,169 @@
+// Package noc implements a cycle-level 2D-mesh network-on-chip in the
+// style of Garnet2.0 (the interconnect model the paper's evaluation is
+// built on): wormhole switching, virtual channels with credit-based flow
+// control, XY dimension-order routing, separable round-robin virtual-
+// channel and switch allocation, configurable router pipeline depth and
+// channel width, and multiple virtual networks.
+//
+// Two extensions host the SnackNoC platform (paper §III):
+//
+//   - a dedicated snack virtual network for instruction and data tokens,
+//     with optional priority arbitration that serves communication flits
+//     before snack flits at every allocator (§III-D3);
+//   - a per-router compute attachment point (the Router Compute Unit) that
+//     can consume arriving snack flits, rewrite transient data tokens in
+//     flight, and inject results through a dedicated compute port into the
+//     crossbar (§III-D, Fig 6);
+//   - a static loop route visiting every node, used as the transient
+//     storage medium for data tokens (§III-E).
+package noc
+
+import "fmt"
+
+// NodeID identifies a mesh node (router + network interface).
+type NodeID int
+
+// Direction enumerates router ports. Local is the network-interface port;
+// Compute is the optional RCU injection port (input only).
+type Direction int
+
+// Router port directions.
+const (
+	North Direction = iota
+	East
+	South
+	West
+	Local
+	Compute // RCU injection port (present only when Config.ComputePort)
+
+	numDirections = 6
+)
+
+// String returns a short port name for traces.
+func (d Direction) String() string {
+	switch d {
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	case West:
+		return "W"
+	case Local:
+		return "L"
+	case Compute:
+		return "C"
+	}
+	return fmt.Sprintf("Direction(%d)", int(d))
+}
+
+// VNetConfig describes one virtual network (an independent VC pool, the
+// mechanism Garnet uses to separate protocol message classes).
+type VNetConfig struct {
+	Name     string
+	VCs      int // virtual channels per input port in this vnet
+	BufDepth int // flit slots per VC
+}
+
+// Config describes a mesh NoC instance. The presets in presets.go encode
+// the paper's Table I baselines and Table IV simulated platform.
+type Config struct {
+	Name   string
+	Width  int // mesh columns
+	Height int // mesh rows
+
+	// ChannelWidthBytes is the flit/phit width; one flit traverses a link
+	// per cycle (Table I: 16 B for DAPPER/AxNoC, 32 B for BiNoCHS).
+	ChannelWidthBytes int
+
+	// RouterLatency is the in-router pipeline depth in cycles. The paper
+	// counts stages including link traversal, so an "N-stage pipeline"
+	// NoC has RouterLatency N-1 with LinkLatency 1.
+	RouterLatency int
+	LinkLatency   int
+
+	VNets []VNetConfig
+
+	// SnackVNet is the index into VNets of the dedicated SnackNoC virtual
+	// network, or -1 when the platform is not present (§III-B: "A
+	// dedicated virtual network is used to distribute SnackNoC
+	// instruction packets").
+	SnackVNet int
+
+	// PriorityArb arbitrates communication flits ahead of snack flits at
+	// the VC and switch allocators (§III-D3).
+	PriorityArb bool
+
+	// ComputePort adds the RCU injection input port to every router.
+	ComputePort bool
+}
+
+// Nodes returns the node count.
+func (c *Config) Nodes() int { return c.Width * c.Height }
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Width < 2 || c.Height < 2 {
+		return fmt.Errorf("noc: mesh must be at least 2x2, got %dx%d", c.Width, c.Height)
+	}
+	if c.ChannelWidthBytes <= 0 {
+		return fmt.Errorf("noc: channel width must be positive, got %d", c.ChannelWidthBytes)
+	}
+	if c.RouterLatency < 1 {
+		return fmt.Errorf("noc: router latency must be >= 1, got %d", c.RouterLatency)
+	}
+	if c.LinkLatency < 1 {
+		return fmt.Errorf("noc: link latency must be >= 1, got %d", c.LinkLatency)
+	}
+	if len(c.VNets) == 0 {
+		return fmt.Errorf("noc: at least one virtual network required")
+	}
+	for i, v := range c.VNets {
+		if v.VCs < 1 || v.BufDepth < 1 {
+			return fmt.Errorf("noc: vnet %d (%s) needs >=1 VC and >=1 buffer, got %d/%d",
+				i, v.Name, v.VCs, v.BufDepth)
+		}
+	}
+	if c.SnackVNet >= len(c.VNets) {
+		return fmt.Errorf("noc: snack vnet %d out of range", c.SnackVNet)
+	}
+	if c.ComputePort && c.SnackVNet < 0 {
+		return fmt.Errorf("noc: compute port requires a snack vnet")
+	}
+	if c.SnackVNet >= 0 && c.Width%2 != 0 && c.Height%2 != 0 {
+		return fmt.Errorf("noc: transient-data loop route needs an even mesh dimension, got %dx%d",
+			c.Width, c.Height)
+	}
+	return nil
+}
+
+// XY returns the mesh coordinates of node n.
+func (c *Config) XY(n NodeID) (x, y int) {
+	return int(n) % c.Width, int(n) / c.Width
+}
+
+// Node returns the NodeID at mesh coordinates (x, y).
+func (c *Config) Node(x, y int) NodeID {
+	return NodeID(y*c.Width + x)
+}
+
+// FlitsFor returns the number of flits needed to carry a message of the
+// given size in bytes on this network's channel width.
+func (c *Config) FlitsFor(bytes int) int {
+	if bytes <= 0 {
+		return 1
+	}
+	return (bytes + c.ChannelWidthBytes - 1) / c.ChannelWidthBytes
+}
+
+// maxVCs returns the largest VC count across vnets (used to size arrays).
+func (c *Config) maxVCs() int {
+	m := 0
+	for _, v := range c.VNets {
+		if v.VCs > m {
+			m = v.VCs
+		}
+	}
+	return m
+}

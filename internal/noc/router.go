@@ -1,0 +1,673 @@
+package noc
+
+import (
+	"fmt"
+
+	"snacknoc/internal/stats"
+)
+
+// ComputeUnit is the router-side attachment point for a SnackNoC Router
+// Compute Unit (or the Central Packet Manager's network-edge logic). The
+// router calls OnArrival for every snack-vnet flit that reaches the router
+// it is addressed to, before the flit is buffered.
+//
+// Returning true consumes the flit: it leaves the network and its buffer
+// credit is returned upstream. Returning false lets the flit continue; for
+// transient-data loop tokens the unit may first mutate the carried token
+// (for example decrement its dependent count after reading the value), and
+// the router then forwards the token to the next node on the loop route.
+type ComputeUnit interface {
+	OnArrival(f *Flit, cycle int64) bool
+}
+
+// LoopDrainer is optionally implemented by the compute attachment at the
+// Central Packet Manager's router. When the snack virtual network wedges
+// solid with circulating tokens, no flit is in flight to trigger
+// OnArrival; the router then offers *buffered* loop tokens awaiting VC
+// allocation to the drainer, which absorbs them into the overflow path
+// (§III-C2) and lets the ring unwind.
+type LoopDrainer interface {
+	DrainLoopFlit(f *Flit, cycle int64) bool
+}
+
+// vcState tracks the wormhole state machine of one input virtual channel.
+type vcState int
+
+const (
+	vcIdle   vcState = iota // no packet, or waiting for a head flit
+	vcRoute                 // head queued for route computation
+	vcWaitVA                // head routed, waiting for an output VC
+	vcActive                // output VC held; flits may traverse the switch
+)
+
+// vcClass separates communication VCs from snack VCs for the §III-D3
+// priority arbitration.
+const (
+	classComm  = 0
+	classSnack = 1
+)
+
+// inputVC is one virtual-channel buffer on an input port.
+type inputVC struct {
+	q       []*Flit
+	state   vcState
+	outPort Direction
+	outVC   int
+	refIdx  int // index into Router.refs
+}
+
+// inputPort groups the VCs fed by one incoming link.
+type inputPort struct {
+	dir    Direction
+	in     *wire[*Flit]     // flits from the upstream sender
+	credit *wire[creditMsg] // credits back to the upstream sender
+	vcs    [][]*inputVC     // [vnet][vc]
+}
+
+// outputPort tracks downstream buffer state for one outgoing link.
+type outputPort struct {
+	dir     Direction
+	out     *wire[*Flit]     // flits to the downstream receiver
+	credit  *wire[creditMsg] // credits from the downstream receiver
+	credits [][]int          // [vnet][vc] free downstream slots
+	vcBusy  [][]bool         // [vnet][vc] held by an in-flight packet
+	vcRR    []int            // per-vnet round-robin pointer for output-VC allocation
+
+	util   stats.Utilization
+	series *stats.TimeSeries
+}
+
+// vcRef flattens (port, vnet, vc) for allocator bookkeeping.
+type vcRef struct {
+	port  Direction
+	vnet  int
+	vc    int
+	class int
+	ivc   *inputVC
+}
+
+// Router is one mesh router: input VC buffers, XY route computation,
+// separable VC and switch allocation, a crossbar, and credit bookkeeping,
+// with the optional SnackNoC compute attachment of Fig 6.
+//
+// The allocator stages are event-list driven: only VCs that actually hold
+// flits appear in the route/VA/SA work lists, so an idle router costs a
+// few comparisons per cycle — the property that makes simulating the
+// paper's mostly-idle NoCs fast.
+type Router struct {
+	id  NodeID
+	cfg *Config
+
+	inputs  [numDirections]*inputPort  // nil where no link exists
+	outputs [numDirections]*outputPort // nil where no link exists
+
+	compute ComputeUnit
+	loop    *LoopRoute
+
+	refs []vcRef
+
+	// allocator work lists (ref indices)
+	needRoute []int
+	waitVA    []int
+	vaScratch []int
+	saCand    [numDirections][2][]int
+	saPtr     [numDirections]int
+	vaPtr     int
+
+	// staged results of the current Evaluate, committed in Advance
+	stagedOut     [numDirections]*Flit
+	stagedCredits []stagedCredit
+
+	// occupancy counts buffered flits across all input VCs; when zero the
+	// allocator stages are skipped entirely.
+	occupancy int
+
+	// statistics
+	xbarUtil   stats.Utilization
+	xbarSeries *stats.TimeSeries
+	xbarMoves  stats.Counter
+	bufHist    *stats.Histogram
+	bufSlots   int
+	consumed   stats.Counter // snack flits consumed by the compute unit
+}
+
+type stagedCredit struct {
+	port Direction
+	msg  creditMsg
+}
+
+// newRouter builds a router shell; ports are wired by the Network.
+func newRouter(id NodeID, cfg *Config) *Router {
+	return &Router{id: id, cfg: cfg}
+}
+
+// ID returns the router's node id.
+func (r *Router) ID() NodeID { return r.id }
+
+// Name implements sim.Component.
+func (r *Router) Name() string { return fmt.Sprintf("router%d", r.id) }
+
+// addInput installs an input port with freshly allocated VC buffers.
+func (r *Router) addInput(dir Direction, snackOnly bool) *inputPort {
+	p := &inputPort{
+		dir:    dir,
+		in:     &wire[*Flit]{},
+		credit: &wire[creditMsg]{},
+		vcs:    make([][]*inputVC, len(r.cfg.VNets)),
+	}
+	for v, vn := range r.cfg.VNets {
+		if snackOnly && v != r.cfg.SnackVNet {
+			continue
+		}
+		p.vcs[v] = make([]*inputVC, vn.VCs)
+		for c := range p.vcs[v] {
+			p.vcs[v][c] = &inputVC{}
+		}
+	}
+	r.inputs[dir] = p
+	return p
+}
+
+// addOutput installs an output port whose downstream buffers mirror the
+// given input port's geometry.
+func (r *Router) addOutput(dir Direction, downstream *inputPort, ejection bool) *outputPort {
+	p := &outputPort{
+		dir:     dir,
+		out:     downstream.in,
+		credit:  downstream.credit,
+		credits: make([][]int, len(r.cfg.VNets)),
+		vcBusy:  make([][]bool, len(r.cfg.VNets)),
+		vcRR:    make([]int, len(r.cfg.VNets)),
+	}
+	for v, vn := range r.cfg.VNets {
+		p.credits[v] = make([]int, vn.VCs)
+		p.vcBusy[v] = make([]bool, vn.VCs)
+		for c := range p.credits[v] {
+			if ejection {
+				// Network interfaces sink flits as fast as they arrive;
+				// model their ejection buffers as unbounded.
+				p.credits[v][c] = 1 << 30
+			} else {
+				p.credits[v][c] = vn.BufDepth
+			}
+		}
+	}
+	r.outputs[dir] = p
+	return p
+}
+
+// finalize builds allocator bookkeeping; called once ports are wired.
+func (r *Router) finalize() {
+	for d := Direction(0); d < numDirections; d++ {
+		in := r.inputs[d]
+		if in == nil {
+			continue
+		}
+		for v := range in.vcs {
+			for c, ivc := range in.vcs[v] {
+				cl := classComm
+				if v == r.cfg.SnackVNet {
+					cl = classSnack
+				}
+				ivc.refIdx = len(r.refs)
+				r.refs = append(r.refs, vcRef{port: d, vnet: v, vc: c, class: cl, ivc: ivc})
+				r.bufSlots += r.cfg.VNets[v].BufDepth
+			}
+		}
+	}
+	r.bufHist = stats.NewHistogram(1.0, 20)
+}
+
+// EnableSampling attaches a crossbar-usage time series with the given
+// sampling interval in cycles (the paper samples every 10 K cycles) and a
+// per-link series on each output port.
+func (r *Router) EnableSampling(interval int64) {
+	r.xbarSeries = stats.NewTimeSeries(interval)
+	for _, out := range r.outputs {
+		if out != nil {
+			out.series = stats.NewTimeSeries(interval)
+		}
+	}
+}
+
+// XbarSeries returns the crossbar-usage time series, if sampling is on.
+func (r *Router) XbarSeries() *stats.TimeSeries { return r.xbarSeries }
+
+// XbarUtil returns cumulative crossbar utilization.
+func (r *Router) XbarUtil() *stats.Utilization { return &r.xbarUtil }
+
+// XbarMoves returns the cumulative count of crossbar traversals.
+func (r *Router) XbarMoves() int64 { return r.xbarMoves.Value() }
+
+// BufferHistogram returns the per-cycle buffer-occupancy histogram
+// (fraction of total input slots in use), the Fig 3 measurement.
+func (r *Router) BufferHistogram() *stats.Histogram { return r.bufHist }
+
+// LinkUtil returns cumulative utilization of the output link in the given
+// direction, or nil when the router has no such link.
+func (r *Router) LinkUtil(d Direction) *stats.Utilization {
+	if r.outputs[d] == nil {
+		return nil
+	}
+	return &r.outputs[d].util
+}
+
+// LinkSeries returns the sampled usage series for an output link, if any.
+func (r *Router) LinkSeries(d Direction) *stats.TimeSeries {
+	if r.outputs[d] == nil {
+		return nil
+	}
+	return r.outputs[d].series
+}
+
+// ConsumedSnackFlits returns how many snack flits the compute unit consumed.
+func (r *Router) ConsumedSnackFlits() int64 { return r.consumed.Value() }
+
+// attachCompute installs the RCU/CPM hook.
+func (r *Router) attachCompute(cu ComputeUnit) { r.compute = cu }
+
+// FreeOutputVCs counts free useful virtual output channels across the
+// router's mesh output ports, the quantity tracked by the ALO congestion
+// estimator of Baydal et al. used by the CPM (§III-C2). When commOnly is
+// true the snack vnet is excluded.
+func (r *Router) FreeOutputVCs(commOnly bool) int {
+	free := 0
+	for d := North; d <= West; d++ {
+		out := r.outputs[d]
+		if out == nil {
+			continue
+		}
+		for v := range out.vcBusy {
+			if commOnly && v == r.cfg.SnackVNet {
+				continue
+			}
+			for c := range out.vcBusy[v] {
+				if !out.vcBusy[v][c] && out.credits[v][c] > 0 {
+					free++
+				}
+			}
+		}
+	}
+	return free
+}
+
+// FreeSnackVCs counts free snack-vnet virtual output channels across the
+// router's mesh output ports.
+func (r *Router) FreeSnackVCs() int {
+	if r.cfg.SnackVNet < 0 {
+		return 0
+	}
+	free := 0
+	for d := North; d <= West; d++ {
+		if r.outputs[d] != nil {
+			free += r.freeSnackOn(r.outputs[d])
+		}
+	}
+	return free
+}
+
+// FreeSnackVCsToward counts free snack-vnet VCs on the output port that
+// XY-routes toward dst (the overflow detector's measurement).
+func (r *Router) FreeSnackVCsToward(dst NodeID) int {
+	if r.cfg.SnackVNet < 0 {
+		return 0
+	}
+	d := routeXY(r.cfg, r.id, dst)
+	if d == Local || r.outputs[d] == nil {
+		return 0
+	}
+	return r.freeSnackOn(r.outputs[d])
+}
+
+func (r *Router) freeSnackOn(out *outputPort) int {
+	v := r.cfg.SnackVNet
+	free := 0
+	for c := range out.vcBusy[v] {
+		if !out.vcBusy[v][c] && out.credits[v][c] > 0 {
+			free++
+		}
+	}
+	return free
+}
+
+// Evaluate implements one router cycle: credit ingestion, link arrival
+// (with the compute hook), route computation, VC allocation, and switch
+// allocation with crossbar traversal.
+func (r *Router) Evaluate(cycle int64) {
+	r.ingestCredits(cycle)
+	r.ingestArrivals(cycle)
+	moves := 0
+	if r.occupancy > 0 {
+		r.routeCompute(cycle)
+		r.allocateVCs(cycle)
+		moves = r.allocateSwitch(cycle)
+	}
+	// Idle links consume an observation slot every cycle.
+	for d := Direction(0); d < numDirections; d++ {
+		out := r.outputs[d]
+		if out == nil || r.stagedOut[d] != nil {
+			continue
+		}
+		out.util.Observe(false)
+		if out.series != nil {
+			out.series.Observe(false)
+		}
+	}
+	r.observe(cycle, moves)
+}
+
+// Advance commits staged flits and credits onto their wires.
+func (r *Router) Advance(cycle int64) {
+	for d, f := range r.stagedOut {
+		if f == nil {
+			continue
+		}
+		out := r.outputs[d]
+		out.out.push(f, cycle+int64(r.cfg.LinkLatency))
+		r.stagedOut[d] = nil
+	}
+	for _, sc := range r.stagedCredits {
+		r.inputs[sc.port].credit.push(sc.msg, cycle+1)
+	}
+	r.stagedCredits = r.stagedCredits[:0]
+}
+
+func (r *Router) ingestCredits(cycle int64) {
+	for _, out := range r.outputs {
+		if out == nil {
+			continue
+		}
+		out.credit.drainReady(cycle, func(msg creditMsg) {
+			out.credits[msg.vnet][msg.vc]++
+			if out.credits[msg.vnet][msg.vc] > r.cfg.VNets[msg.vnet].BufDepth {
+				panic(fmt.Sprintf("%s: credit overflow on %s vnet %d vc %d",
+					r.Name(), out.dir, msg.vnet, msg.vc))
+			}
+		})
+	}
+}
+
+func (r *Router) ingestArrivals(cycle int64) {
+	for _, in := range r.inputs {
+		if in == nil {
+			continue
+		}
+		in.in.drainReady(cycle, func(f *Flit) {
+			if f.VNet == r.cfg.SnackVNet && f.Dst == r.id && r.compute != nil {
+				if r.compute.OnArrival(f, cycle) {
+					// Consumed before buffering: the reserved slot is
+					// returned upstream immediately.
+					r.consumed.Inc()
+					r.stagedCredits = append(r.stagedCredits,
+						stagedCredit{port: in.dir, msg: creditMsg{vnet: f.VNet, vc: f.VC}})
+					return
+				}
+				if f.Loop {
+					// Transient token continues to the next loop node.
+					f.Dst = r.loop.Next(r.id)
+				}
+			}
+			f.eligibleAt = cycle + int64(r.cfg.RouterLatency-1)
+			ivc := in.vcs[f.VNet][f.VC]
+			if len(ivc.q) >= r.cfg.VNets[f.VNet].BufDepth {
+				panic(fmt.Sprintf("%s: input VC overflow %s vnet %d vc %d (%s)",
+					r.Name(), in.dir, f.VNet, f.VC, f))
+			}
+			ivc.q = append(ivc.q, f)
+			r.occupancy++
+			if ivc.state == vcIdle {
+				ivc.state = vcRoute
+				r.needRoute = append(r.needRoute, ivc.refIdx)
+			}
+		})
+	}
+}
+
+func (r *Router) routeCompute(cycle int64) {
+	for _, idx := range r.needRoute {
+		ivc := r.refs[idx].ivc
+		if ivc.state != vcRoute || len(ivc.q) == 0 {
+			panic(fmt.Sprintf("%s: route work-list entry in state %d", r.Name(), ivc.state))
+		}
+		head := ivc.q[0]
+		if !head.IsHead() {
+			panic(fmt.Sprintf("%s: non-head flit %s at head of routing VC", r.Name(), head))
+		}
+		ivc.outPort = routeXY(r.cfg, r.id, head.Dst)
+		if r.outputs[ivc.outPort] == nil {
+			panic(fmt.Sprintf("%s: route to missing port %s for %s", r.Name(), ivc.outPort, head))
+		}
+		ivc.state = vcWaitVA
+		r.waitVA = append(r.waitVA, idx)
+	}
+	r.needRoute = r.needRoute[:0]
+}
+
+func (r *Router) allocateVCs(cycle int64) {
+	if len(r.waitVA) == 0 {
+		return
+	}
+	// Scan a snapshot: the keep-list rebuild below writes into waitVA
+	// while the rotated scan still reads from it.
+	r.vaScratch = append(r.vaScratch[:0], r.waitVA...)
+	keep := r.waitVA[:0]
+	n := len(r.vaScratch)
+	drainer, _ := r.compute.(LoopDrainer)
+	r.vaPtr++
+	for i := 0; i < n; i++ {
+		idx := r.vaScratch[(r.vaPtr+i)%n]
+		ref := &r.refs[idx]
+		ivc := ref.ivc
+		if drainer != nil && ref.vnet == r.cfg.SnackVNet && ivc.q[0].Loop &&
+			drainer.DrainLoopFlit(ivc.q[0], cycle) {
+			// Absorbed into the CPM's overflow buffer: free the slot.
+			f := ivc.q[0]
+			ivc.q = ivc.q[1:]
+			r.occupancy--
+			r.consumed.Inc()
+			r.stagedCredits = append(r.stagedCredits,
+				stagedCredit{port: ref.port, msg: creditMsg{vnet: ref.vnet, vc: ref.vc}})
+			if !f.IsTail() {
+				panic(fmt.Sprintf("%s: drained a multi-flit loop packet", r.Name()))
+			}
+			if len(ivc.q) > 0 {
+				ivc.state = vcRoute
+				r.needRoute = append(r.needRoute, idx)
+			} else {
+				ivc.state = vcIdle
+			}
+			continue
+		}
+		if ivc.q[0].eligibleAt > cycle {
+			keep = append(keep, idx)
+			continue
+		}
+		out := r.outputs[ivc.outPort]
+		vn := ref.vnet
+		nvc := len(out.vcBusy[vn])
+		granted := false
+		for j := 0; j < nvc; j++ {
+			c := (out.vcRR[vn] + j) % nvc
+			if !out.vcBusy[vn][c] {
+				out.vcBusy[vn][c] = true
+				out.vcRR[vn] = c + 1
+				ivc.outVC = c
+				ivc.state = vcActive
+				r.saCand[ivc.outPort][ref.class] = append(r.saCand[ivc.outPort][ref.class], idx)
+				granted = true
+				break
+			}
+		}
+		if !granted {
+			keep = append(keep, idx)
+		}
+	}
+	// Preserve un-granted requests; order changes only by the RR offset.
+	r.waitVA = keep
+}
+
+// allocateSwitch performs switch allocation and crossbar traversal,
+// returning the number of flits moved this cycle. Under priority
+// arbitration the allocation runs in two full passes — every output
+// considers communication flits before any snack flit is granted — so
+// instruction flits can never take a crossbar input port a communication
+// flit could have used (§III-D3).
+func (r *Router) allocateSwitch(cycle int64) int {
+	moves := 0
+	var grantedInputs [numDirections]bool
+	if r.cfg.PriorityArb {
+		for d := Direction(0); d < numDirections; d++ {
+			if r.outputs[d] == nil {
+				continue
+			}
+			r.saPtr[d]++
+			if win := r.scanCand(r.saCand[d][classComm], d, cycle, &grantedInputs); win >= 0 {
+				r.traverse(d, win, &grantedInputs)
+				moves++
+			}
+		}
+		for d := Direction(0); d < numDirections; d++ {
+			if r.outputs[d] == nil || r.stagedOut[d] != nil {
+				continue
+			}
+			if win := r.scanCand(r.saCand[d][classSnack], d, cycle, &grantedInputs); win >= 0 {
+				r.traverse(d, win, &grantedInputs)
+				moves++
+			}
+		}
+		return moves
+	}
+	for d := Direction(0); d < numDirections; d++ {
+		out := r.outputs[d]
+		if out == nil {
+			continue
+		}
+		win := r.pickSwitchWinner(d, cycle, &grantedInputs)
+		if win < 0 {
+			continue
+		}
+		r.traverse(d, win, &grantedInputs)
+		moves++
+	}
+	return moves
+}
+
+// traverse moves the winning VC's head flit through the crossbar toward
+// output d, handling credits, VC release, and statistics.
+func (r *Router) traverse(d Direction, win int, granted *[numDirections]bool) {
+	out := r.outputs[d]
+	ref := &r.refs[win]
+	ivc := ref.ivc
+	f := ivc.q[0]
+	ivc.q = ivc.q[1:]
+	r.occupancy--
+	f.VC = ivc.outVC
+	out.credits[ref.vnet][ivc.outVC]--
+	r.stagedOut[d] = f
+	r.stagedCredits = append(r.stagedCredits,
+		stagedCredit{port: ref.port, msg: creditMsg{vnet: ref.vnet, vc: ref.vc}})
+	granted[ref.port] = true
+	if f.IsTail() {
+		out.vcBusy[ref.vnet][ivc.outVC] = false
+		r.removeSACand(d, ref.class, win)
+		if len(ivc.q) > 0 {
+			// The next packet's head is already queued.
+			ivc.state = vcRoute
+			r.needRoute = append(r.needRoute, win)
+		} else {
+			ivc.state = vcIdle
+		}
+	}
+	out.util.Observe(true)
+	if out.series != nil {
+		out.series.Observe(true)
+	}
+}
+
+// pickSwitchWinner selects the input VC (by ref index) that wins output
+// port d this cycle, honouring round-robin fairness, credit availability,
+// the one-flit-per-input-port crossbar constraint, and — when priority
+// arbitration is enabled — the precedence of communication flits over
+// snack flits (§III-D3). It returns -1 when no candidate is ready.
+func (r *Router) pickSwitchWinner(d Direction, cycle int64, granted *[numDirections]bool) int {
+	comm, snack := r.saCand[d][classComm], r.saCand[d][classSnack]
+	if len(comm) == 0 && len(snack) == 0 {
+		return -1
+	}
+	r.saPtr[d]++
+	if r.cfg.PriorityArb {
+		if w := r.scanCand(comm, d, cycle, granted); w >= 0 {
+			return w
+		}
+		return r.scanCand(snack, d, cycle, granted)
+	}
+	// Without priority arbitration both classes share one RR scan.
+	n := len(comm) + len(snack)
+	start := r.saPtr[d]
+	for i := 0; i < n; i++ {
+		k := (start + i) % n
+		var idx int
+		if k < len(comm) {
+			idx = comm[k]
+		} else {
+			idx = snack[k-len(comm)]
+		}
+		if r.saOK(idx, d, cycle, granted) {
+			return idx
+		}
+	}
+	return -1
+}
+
+func (r *Router) scanCand(cand []int, d Direction, cycle int64, granted *[numDirections]bool) int {
+	n := len(cand)
+	if n == 0 {
+		return -1
+	}
+	start := r.saPtr[d]
+	for i := 0; i < n; i++ {
+		idx := cand[(start+i)%n]
+		if r.saOK(idx, d, cycle, granted) {
+			return idx
+		}
+	}
+	return -1
+}
+
+// saOK checks whether the VC at ref index idx can traverse toward output
+// d this cycle.
+func (r *Router) saOK(idx int, d Direction, cycle int64, granted *[numDirections]bool) bool {
+	ref := &r.refs[idx]
+	ivc := ref.ivc
+	if ivc.state != vcActive || ivc.outPort != d || len(ivc.q) == 0 {
+		return false
+	}
+	if granted[ref.port] {
+		return false
+	}
+	if ivc.q[0].eligibleAt > cycle {
+		return false
+	}
+	return r.outputs[d].credits[ref.vnet][ivc.outVC] > 0
+}
+
+func (r *Router) removeSACand(d Direction, class, idx int) {
+	cand := r.saCand[d][class]
+	for i, v := range cand {
+		if v == idx {
+			r.saCand[d][class] = append(cand[:i], cand[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("%s: ref %d missing from SA candidates", r.Name(), idx))
+}
+
+func (r *Router) observe(cycle int64, moves int) {
+	busy := moves > 0
+	r.xbarUtil.Observe(busy)
+	if r.xbarSeries != nil {
+		r.xbarSeries.Observe(busy)
+	}
+	r.xbarMoves.Add(int64(moves))
+	r.bufHist.Observe(float64(r.occupancy) / float64(r.bufSlots))
+}

@@ -1,0 +1,156 @@
+// Package sim provides the cycle-driven simulation kernel that underpins
+// every timing model in this repository: the NoC, the memory controllers,
+// the CMP cores, and the SnackNoC compute layer.
+//
+// The kernel advances global time in discrete cycles. Every hardware block
+// registers as a Component; each cycle the engine runs a two-phase update:
+//
+//  1. Evaluate — every component reads the committed state of its inputs
+//     (as of the end of the previous cycle) and computes its next state.
+//  2. Advance — every component commits that next state.
+//
+// Two-phase update makes component ordering irrelevant, which is the same
+// determinism guarantee cycle-accurate RTL simulation provides and the
+// property Garnet2.0 relies on for router pipelines.
+//
+// The engine also provides a lightweight event queue for blocks that sleep
+// for long, data-dependent intervals (for example a DRAM access returning
+// tCAS cycles later). Events scheduled for cycle C run at the start of
+// cycle C, before Evaluate.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Component is a hardware block driven by the engine. Evaluate must not
+// modify state observable by other components; Advance commits it.
+type Component interface {
+	// Name identifies the component in traces and error messages.
+	Name() string
+	// Evaluate computes the component's next state from committed inputs.
+	Evaluate(cycle int64)
+	// Advance commits the state computed by Evaluate.
+	Advance(cycle int64)
+}
+
+// event is a scheduled callback.
+type event struct {
+	cycle int64
+	seq   int64 // tie-break so same-cycle events run in schedule order
+	fn    func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].cycle != q[j].cycle {
+		return q[i].cycle < q[j].cycle
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine owns global simulated time and the registered components.
+type Engine struct {
+	cycle  int64
+	comps  []Component
+	events eventQueue
+	seq    int64
+	// StopRequested lets a component or sampler end Run early.
+	stopped bool
+}
+
+// NewEngine returns an engine at cycle 0 with no components.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Register adds a component to the engine. Components are evaluated in
+// registration order, but two-phase update makes the order immaterial to
+// simulated behaviour.
+func (e *Engine) Register(c Component) {
+	if c == nil {
+		panic("sim: Register called with nil component")
+	}
+	e.comps = append(e.comps, c)
+}
+
+// Cycle returns the current simulated cycle. During Evaluate/Advance it is
+// the cycle being executed; after Run it is the next cycle to execute.
+func (e *Engine) Cycle() int64 { return e.cycle }
+
+// Schedule runs fn at the start of the given absolute cycle. Scheduling in
+// the past (or the current cycle, whose event phase already ran) is an
+// error, reported by panic because it is always a model bug.
+func (e *Engine) Schedule(at int64, fn func()) {
+	if at <= e.cycle {
+		panic(fmt.Sprintf("sim: Schedule(%d) at or before current cycle %d", at, e.cycle))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{cycle: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleAfter runs fn delay cycles from now (delay must be >= 1).
+func (e *Engine) ScheduleAfter(delay int64, fn func()) {
+	e.Schedule(e.cycle+delay, fn)
+}
+
+// Stop makes Run return after the current cycle completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Step executes exactly one cycle: pending events, then Evaluate on all
+// components, then Advance on all components.
+func (e *Engine) Step() {
+	for len(e.events) > 0 && e.events[0].cycle == e.cycle {
+		ev := heap.Pop(&e.events).(*event)
+		ev.fn()
+	}
+	for _, c := range e.comps {
+		c.Evaluate(e.cycle)
+	}
+	for _, c := range e.comps {
+		c.Advance(e.cycle)
+	}
+	e.cycle++
+}
+
+// Run executes up to n cycles, stopping early if Stop is called.
+// It returns the number of cycles actually executed.
+func (e *Engine) Run(n int64) int64 {
+	var done int64
+	for done < n && !e.stopped {
+		e.Step()
+		done++
+	}
+	return done
+}
+
+// RunUntil executes cycles until pred returns true (checked after each
+// cycle) or max cycles elapse. It returns the number executed and whether
+// pred was satisfied.
+func (e *Engine) RunUntil(pred func() bool, max int64) (int64, bool) {
+	var done int64
+	for done < max && !e.stopped {
+		e.Step()
+		done++
+		if pred() {
+			return done, true
+		}
+	}
+	return done, pred()
+}

@@ -1,0 +1,160 @@
+package sim
+
+import "testing"
+
+type recorder struct {
+	name     string
+	evals    []int64
+	advances []int64
+}
+
+func (r *recorder) Name() string         { return r.name }
+func (r *recorder) Evaluate(cycle int64) { r.evals = append(r.evals, cycle) }
+func (r *recorder) Advance(cycle int64)  { r.advances = append(r.advances, cycle) }
+
+func TestEngineStepAdvancesCycle(t *testing.T) {
+	e := NewEngine()
+	if e.Cycle() != 0 {
+		t.Fatalf("new engine at cycle %d, want 0", e.Cycle())
+	}
+	e.Step()
+	if e.Cycle() != 1 {
+		t.Fatalf("after one step cycle = %d, want 1", e.Cycle())
+	}
+}
+
+func TestEngineCallsComponentsEveryCycle(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{name: "r"}
+	e.Register(r)
+	e.Run(3)
+	want := []int64{0, 1, 2}
+	if len(r.evals) != 3 || len(r.advances) != 3 {
+		t.Fatalf("evals=%v advances=%v, want 3 each", r.evals, r.advances)
+	}
+	for i, w := range want {
+		if r.evals[i] != w || r.advances[i] != w {
+			t.Fatalf("cycle %d: eval=%d advance=%d, want %d", i, r.evals[i], r.advances[i], w)
+		}
+	}
+}
+
+func TestEngineTwoPhaseOrdering(t *testing.T) {
+	// All Evaluates in a cycle must precede all Advances.
+	e := NewEngine()
+	var log []string
+	a := &phaseLogger{id: "a", log: &log}
+	b := &phaseLogger{id: "b", log: &log}
+	e.Register(a)
+	e.Register(b)
+	e.Step()
+	want := []string{"a.eval", "b.eval", "a.adv", "b.adv"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+type phaseLogger struct {
+	id  string
+	log *[]string
+}
+
+func (p *phaseLogger) Name() string   { return p.id }
+func (p *phaseLogger) Evaluate(int64) { *p.log = append(*p.log, p.id+".eval") }
+func (p *phaseLogger) Advance(int64)  { *p.log = append(*p.log, p.id+".adv") }
+
+func TestScheduleRunsAtRequestedCycle(t *testing.T) {
+	e := NewEngine()
+	var fired []int64
+	e.Schedule(5, func() { fired = append(fired, e.Cycle()) })
+	e.Schedule(2, func() { fired = append(fired, e.Cycle()) })
+	e.ScheduleAfter(7, func() { fired = append(fired, e.Cycle()) })
+	e.Run(10)
+	want := []int64{2, 5, 7}
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestScheduleSameCycleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(3, func() { order = append(order, i) })
+	}
+	e.Run(4)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle events out of order: %v", order)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule in the past did not panic")
+		}
+	}()
+	e.Schedule(3, func() {})
+}
+
+func TestStopEndsRunEarly(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(4, func() { e.Stop() })
+	done := e.Run(100)
+	if done != 5 {
+		t.Fatalf("ran %d cycles, want 5 (stop during cycle 4)", done)
+	}
+	if !e.Stopped() {
+		t.Fatal("engine not stopped")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	hit := false
+	e.Schedule(6, func() { hit = true })
+	done, ok := e.RunUntil(func() bool { return hit }, 100)
+	if !ok || done != 7 {
+		t.Fatalf("RunUntil = (%d, %v), want (7, true)", done, ok)
+	}
+	done, ok = e.RunUntil(func() bool { return false }, 3)
+	if ok || done != 3 {
+		t.Fatalf("RunUntil = (%d, %v), want (3, false)", done, ok)
+	}
+}
+
+func TestRegisterNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register(nil) did not panic")
+		}
+	}()
+	NewEngine().Register(nil)
+}
+
+func TestEventsRunBeforeEvaluate(t *testing.T) {
+	e := NewEngine()
+	var log []string
+	e.Register(&phaseLogger{id: "c", log: &log})
+	e.Schedule(1, func() { log = append(log, "event") })
+	e.Run(2)
+	// cycle 0: c.eval c.adv; cycle 1: event c.eval c.adv
+	if log[2] != "event" || log[3] != "c.eval" {
+		t.Fatalf("event did not precede Evaluate: %v", log)
+	}
+}

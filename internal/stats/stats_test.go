@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("after reset = %d, want 0", c.Value())
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestUtilization(t *testing.T) {
+	var u Utilization
+	for i := 0; i < 10; i++ {
+		u.Observe(i < 3)
+	}
+	if got := u.Fraction(); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("fraction = %v, want 0.3", got)
+	}
+	if got := u.Percent(); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("percent = %v, want 30", got)
+	}
+}
+
+func TestUtilizationEmpty(t *testing.T) {
+	var u Utilization
+	if u.Fraction() != 0 {
+		t.Fatal("empty utilization should be 0")
+	}
+}
+
+func TestTimeSeriesSampling(t *testing.T) {
+	ts := NewTimeSeries(10)
+	for i := 0; i < 35; i++ {
+		ts.Observe(i%2 == 0) // 50% duty
+	}
+	s := ts.Samples()
+	if len(s) != 3 {
+		t.Fatalf("got %d samples, want 3 (35 obs / 10)", len(s))
+	}
+	for _, v := range s {
+		if math.Abs(v-0.5) > 1e-12 {
+			t.Fatalf("sample = %v, want 0.5", v)
+		}
+	}
+}
+
+func TestTimeSeriesMedianMax(t *testing.T) {
+	ts := NewTimeSeries(2)
+	pattern := []bool{true, true, false, false, true, false}
+	for _, b := range pattern {
+		ts.Observe(b)
+	}
+	// samples: 1.0, 0.0, 0.5
+	if got := ts.Median(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("median = %v, want 0.5", got)
+	}
+	if got := ts.Max(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("max = %v, want 1.0", got)
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram(1.0, 10)
+	// 96% zeros, 4% at 0.55 — shaped like the paper's Fig 3.
+	for i := 0; i < 96; i++ {
+		h.Observe(0)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(0.55)
+	}
+	cdf := h.CDF()
+	if len(cdf) != 10 {
+		t.Fatalf("cdf has %d points, want 10", len(cdf))
+	}
+	if math.Abs(cdf[0].Prob-0.96) > 1e-12 {
+		t.Fatalf("P(<=0.1) = %v, want 0.96", cdf[0].Prob)
+	}
+	if math.Abs(cdf[5].Prob-1.0) > 1e-12 {
+		t.Fatalf("P(<=0.6) = %v, want 1.0", cdf[5].Prob)
+	}
+	if cdf[9].Prob != 1.0 {
+		t.Fatalf("final CDF point = %v, want 1.0", cdf[9].Prob)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(1.0, 4)
+	h.Observe(-5)  // clamps to bucket 0
+	h.Observe(2.0) // clamps to last bucket
+	if h.Buckets()[0] != 1 || h.Buckets()[3] != 1 {
+		t.Fatalf("buckets = %v, want [1 0 0 1]", h.Buckets())
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{3}, 3},
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("Median mutated input: %v", in)
+	}
+}
+
+func TestMeanGeoMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("mean = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("geomean = %v, want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(vs, 50); got != 5 {
+		t.Fatalf("p50 = %v, want 5", got)
+	}
+	if got := Percentile(vs, 100); got != 10 {
+		t.Fatalf("p100 = %v, want 10", got)
+	}
+	if got := Percentile(vs, 0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+}
+
+func TestCDFMonotonicProperty(t *testing.T) {
+	// Property: any observation stream yields a non-decreasing CDF that
+	// ends at probability 1.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(1.0, 16)
+		for _, r := range raw {
+			h.Observe(float64(r) / 255)
+		}
+		cdf := h.CDF()
+		prev := 0.0
+		for _, p := range cdf {
+			if p.Prob < prev {
+				return false
+			}
+			prev = p.Prob
+		}
+		return math.Abs(cdf[len(cdf)-1].Prob-1.0) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilizationObserveNProperty(t *testing.T) {
+	// Property: Fraction always lands in [0,1] and equals busy/total.
+	f := func(busies []uint8) bool {
+		var u Utilization
+		var wantBusy, wantTotal int64
+		for _, b := range busies {
+			n := int64(b%16) + 1
+			k := int64(b) % n
+			u.ObserveN(k, n)
+			wantBusy += k
+			wantTotal += n
+		}
+		if wantTotal == 0 {
+			return u.Fraction() == 0
+		}
+		want := float64(wantBusy) / float64(wantTotal)
+		return math.Abs(u.Fraction()-want) < 1e-12 && u.Fraction() >= 0 && u.Fraction() <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

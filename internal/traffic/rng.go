@@ -1,0 +1,40 @@
+package traffic
+
+// RNG is a splitmix64 pseudo-random generator. Every stochastic element
+// of the workload substrate draws from per-component RNGs seeded
+// deterministically, so whole-platform simulations are reproducible
+// bit-for-bit — the property that makes the paper's A/B interference
+// comparisons (with/without SnackNoC kernels) meaningful.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator for the given seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9}
+}
+
+// Next returns the next 64 random bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float returns a uniform float64 in [0, 1).
+func (r *RNG) Float() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("traffic: Intn with non-positive bound")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float() < p }

@@ -1,0 +1,219 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(42).Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatal("different seeds look correlated")
+	}
+}
+
+func TestRNGFloatRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGIntnUniformish(t *testing.T) {
+	r := NewRNG(11)
+	counts := make([]int, 8)
+	n := 80000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(8)]++
+	}
+	for b, c := range counts {
+		frac := float64(c) / float64(n)
+		if math.Abs(frac-0.125) > 0.01 {
+			t.Fatalf("bucket %d frequency %v, want ~0.125", b, frac)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(13)
+	hits := 0
+	n := 50000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / float64(n); math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %v", frac)
+	}
+}
+
+func TestAllProfilesValid(t *testing.T) {
+	all := All()
+	if len(all) != 16 {
+		t.Fatalf("All() returned %d profiles, want 16", len(all))
+	}
+	seen := map[string]bool{}
+	for _, p := range all {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile name %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("LULESH") == nil {
+		t.Fatal("LULESH not found")
+	}
+	if ByName("NotABenchmark") != nil {
+		t.Fatal("bogus name found a profile")
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := LULESH()
+	half := Scale(p, 0.5)
+	if half.Instrs != p.Instrs/2 {
+		t.Fatalf("scaled instrs = %d, want %d", half.Instrs, p.Instrs/2)
+	}
+	if p.Instrs != LULESH().Instrs {
+		t.Fatal("Scale mutated the source profile")
+	}
+	tiny := Scale(p, 0)
+	if tiny.Instrs < 1 {
+		t.Fatal("scale floor violated")
+	}
+}
+
+func TestPhaseAt(t *testing.T) {
+	p := &Profile{
+		Name: "x", Instrs: 100, MLP: 1,
+		Phases: []Phase{
+			{Frac: 0.3, MemFrac: 0.1, WSBlocks: 1, SharedBlocks: 1},
+			{Frac: 0.7, MemFrac: 0.9, WSBlocks: 1, SharedBlocks: 1},
+		},
+	}
+	if ph := p.PhaseAt(0.1); ph.MemFrac != 0.1 {
+		t.Fatal("progress 0.1 not in phase 0")
+	}
+	if ph := p.PhaseAt(0.5); ph.MemFrac != 0.9 {
+		t.Fatal("progress 0.5 not in phase 1")
+	}
+	if ph := p.PhaseAt(1.5); ph.MemFrac != 0.9 {
+		t.Fatal("overflow progress not clamped to last phase")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := []*Profile{
+		{Name: "a", Instrs: 0, MLP: 1, Phases: []Phase{{Frac: 1, WSBlocks: 1, SharedBlocks: 1}}},
+		{Name: "b", Instrs: 10, MLP: 0, Phases: []Phase{{Frac: 1, WSBlocks: 1, SharedBlocks: 1}}},
+		{Name: "c", Instrs: 10, MLP: 1},
+		{Name: "d", Instrs: 10, MLP: 1, Phases: []Phase{{Frac: 0.5, WSBlocks: 1, SharedBlocks: 1}}},
+		{Name: "e", Instrs: 10, MLP: 1, Phases: []Phase{{Frac: 1, MemFrac: 1.5, WSBlocks: 1, SharedBlocks: 1}}},
+		{Name: "f", Instrs: 10, MLP: 1, Phases: []Phase{{Frac: 1, WSBlocks: 0, SharedBlocks: 1}}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %s validated but should not", p.Name)
+		}
+	}
+}
+
+func TestStreamAddressesStayInRegions(t *testing.T) {
+	p := LULESH()
+	ph := &p.Phases[0]
+	s := NewStream(p, 3, 99)
+	ncores := 16
+	privBase := uint64(3) * privateRegionBlocks
+	sharedBase := uint64(ncores) * privateRegionBlocks
+	for i := 0; i < 20000; i++ {
+		b, _ := s.Next(ph, ncores)
+		inPriv := b >= privBase && b < privBase+uint64(ph.WSBlocks)
+		inShared := b >= sharedBase && b < sharedBase+uint64(ph.SharedBlocks)
+		if !inPriv && !inShared {
+			t.Fatalf("address %d outside core-3 private and shared regions", b)
+		}
+	}
+}
+
+func TestStreamSpatialLocality(t *testing.T) {
+	// A pure-sequential phase must revisit each block spatialRun times.
+	p := &Profile{Name: "seq", Instrs: 1, MLP: 1,
+		Phases: []Phase{{Frac: 1, SeqFrac: 1, WSBlocks: 100, SharedBlocks: 1}}}
+	s := NewStream(p, 0, 5)
+	counts := map[uint64]int{}
+	for i := 0; i < spatialRun*50; i++ {
+		b, _ := s.Next(&p.Phases[0], 16)
+		counts[b]++
+	}
+	for b, c := range counts {
+		if c != spatialRun {
+			t.Fatalf("block %d visited %d times, want %d", b, c, spatialRun)
+		}
+	}
+}
+
+func TestStreamWriteFraction(t *testing.T) {
+	p := &Profile{Name: "w", Instrs: 1, MLP: 1,
+		Phases: []Phase{{Frac: 1, WriteFrac: 0.25, WSBlocks: 64, SharedBlocks: 1}}}
+	s := NewStream(p, 0, 5)
+	writes := 0
+	n := 40000
+	for i := 0; i < n; i++ {
+		if _, w := s.Next(&p.Phases[0], 16); w {
+			writes++
+		}
+	}
+	if frac := float64(writes) / float64(n); math.Abs(frac-0.25) > 0.02 {
+		t.Fatalf("write fraction %v, want ~0.25", frac)
+	}
+}
+
+func TestStreamDeterministicProperty(t *testing.T) {
+	f := func(seed uint64, core uint8) bool {
+		p := Radix()
+		a := NewStream(p, int(core), seed)
+		b := NewStream(p, int(core), seed)
+		for i := 0; i < 50; i++ {
+			ba, wa := a.Next(&p.Phases[0], 16)
+			bb, wb := b.Next(&p.Phases[0], 16)
+			if ba != bb || wa != wb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
