@@ -31,6 +31,7 @@ const benchScale = experiments.Scale(0.25)
 // representative benchmark pair (full 16-benchmark sweep: snackbench
 // -exp fig1).
 func BenchmarkFig1ResourceSelection(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunFig1(
 			[]*traffic.Profile{traffic.FMM(), traffic.Radix()}, benchScale)
@@ -45,6 +46,7 @@ func BenchmarkFig1ResourceSelection(b *testing.B) {
 // BenchmarkFig2RouterUsage measures the quartile benchmarks' crossbar
 // medians on DAPPER (Fig 2a).
 func BenchmarkFig2RouterUsage(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunFig2(benchScale)
 		if err != nil {
@@ -58,6 +60,7 @@ func BenchmarkFig2RouterUsage(b *testing.B) {
 
 // BenchmarkFig3BufferCDF measures Raytrace's buffer-occupancy CDF.
 func BenchmarkFig3BufferCDF(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunFig3(benchScale)
 		if err != nil {
@@ -70,6 +73,7 @@ func BenchmarkFig3BufferCDF(b *testing.B) {
 
 // BenchmarkTableIIAreaPower evaluates the platform cost model.
 func BenchmarkTableIIAreaPower(b *testing.B) {
+	b.ReportAllocs()
 	var total power.Cost
 	for i := 0; i < b.N; i++ {
 		total = power.SnackNoCTotal(147)
@@ -80,6 +84,7 @@ func BenchmarkTableIIAreaPower(b *testing.B) {
 
 // BenchmarkFig9KernelSpeedups runs the full kernel study (Fig 9).
 func BenchmarkFig9KernelSpeedups(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunFig9(experiments.DefaultKernelDims(), cpu.DefaultCPUConfig())
 		if err != nil {
@@ -93,6 +98,7 @@ func BenchmarkFig9KernelSpeedups(b *testing.B) {
 
 // BenchmarkFig10Uncore evaluates the uncore breakdown.
 func BenchmarkFig10Uncore(b *testing.B) {
+	b.ReportAllocs()
 	var bd power.Breakdown
 	for i := 0; i < b.N; i++ {
 		bd = power.Uncore(power.DefaultUncore())
@@ -103,6 +109,7 @@ func BenchmarkFig10Uncore(b *testing.B) {
 
 // BenchmarkFig11LuleshSpmvCoRun runs the Fig 11 co-run pair.
 func BenchmarkFig11LuleshSpmvCoRun(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.RunCoRun(experiments.CoRunSpec{
 			Bench: traffic.LULESH(), Kernel: cpu.KernelSPMV,
@@ -120,6 +127,7 @@ func BenchmarkFig11LuleshSpmvCoRun(b *testing.B) {
 // BenchmarkFig12Interference runs a representative slice of the Fig 12
 // matrix (full matrix: snackbench -exp fig12).
 func BenchmarkFig12Interference(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunFig12(
 			[]*traffic.Profile{traffic.CoMD(), traffic.Radix()},
@@ -136,6 +144,7 @@ func BenchmarkFig12Interference(b *testing.B) {
 // BenchmarkFig13Scaling runs the platform-scaling study on one benchmark
 // (full sweep: snackbench -exp fig13).
 func BenchmarkFig13Scaling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunFig13(
 			[]*traffic.Profile{traffic.LULESH()},
@@ -150,12 +159,14 @@ func BenchmarkFig13Scaling(b *testing.B) {
 // BenchmarkAblationPriorityArbitration quantifies the §III-D3 design
 // choice: kernel latency and benchmark impact with and without priority.
 func BenchmarkAblationPriorityArbitration(b *testing.B) {
+	b.ReportAllocs()
 	for _, pri := range []bool{true, false} {
 		name := "off"
 		if pri {
 			name = "on"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				r, err := experiments.RunCoRun(experiments.CoRunSpec{
 					Bench: traffic.Radix(), Kernel: cpu.KernelSGEMM,
@@ -176,12 +187,14 @@ func BenchmarkAblationPriorityArbitration(b *testing.B) {
 // for reductions: accumulate on one RCU (the paper's "MAC on one RCU"
 // option) versus chunking across all RCUs with a final combine.
 func BenchmarkAblationChainChunking(b *testing.B) {
+	b.ReportAllocs()
 	dims := experiments.KernelDims{ReduceLen: 20000, MACLen: 20000, SGEMMDim: 8, SPMVDim: 8, SPMVDensity: 0.3}
 	for _, tc := range []struct {
 		name     string
 		minChunk int
 	}{{"chunked", 8}, {"single-rcu", 1 << 30}} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			g, err := experiments.BuildKernelGraph(cpu.KernelMAC, dims, experiments.Seed)
 			if err != nil {
 				b.Fatal(err)
@@ -211,8 +224,10 @@ func BenchmarkAblationChainChunking(b *testing.B) {
 // BenchmarkAblationFetchWindow sweeps the CPM's command-stream fetch
 // depth, the §III-C1 instruction-buffer sizing argument.
 func BenchmarkAblationFetchWindow(b *testing.B) {
+	b.ReportAllocs()
 	for _, fetch := range []int{4, 16, 48} {
 		b.Run(map[int]string{4: "fetch4", 16: "fetch16", 48: "fetch48"}[fetch], func(b *testing.B) {
+			b.ReportAllocs()
 			prog, err := experiments.CompileKernel(cpu.KernelSGEMM,
 				experiments.KernelDims{SGEMMDim: 32, ReduceLen: 8, MACLen: 8, SPMVDim: 8, SPMVDensity: 0.3},
 				16, experiments.Seed)
@@ -242,12 +257,14 @@ func BenchmarkAblationFetchWindow(b *testing.B) {
 // corner channel with cache traffic inflates both interference
 // directions.
 func BenchmarkAblationSharedMemChannel(b *testing.B) {
+	b.ReportAllocs()
 	for _, shared := range []bool{false, true} {
 		name := "dedicated"
 		if shared {
 			name = "shared"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				eng := sim.NewEngine()
 				net, err := noc.New(eng, noc.SnackPlatform(4, 4, true))
@@ -303,6 +320,7 @@ func BenchmarkAblationSharedMemChannel(b *testing.B) {
 // BenchmarkNoCSaturation measures raw simulator throughput on a loaded
 // mesh (engineering metric, not a paper artifact).
 func BenchmarkNoCSaturation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		run, err := experiments.RunBenchmark(noc.DAPPER(4, 4), traffic.Radix(), 0.1)
 		if err != nil {

@@ -28,7 +28,9 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "benchmark instruction-budget scale (1.0 = reference)")
 	benchList := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 16)")
 	priority := flag.Bool("priority", true, "priority arbitration for co-run experiments")
+	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
 	flag.Parse()
+	experiments.SetWorkers(*jobs)
 
 	if *exp == "" {
 		flag.Usage()

@@ -33,7 +33,9 @@ func main() {
 	mesh := flag.String("mesh", "4x4", "mesh dimensions WxH")
 	scale := flag.Float64("scale", 1.0, "benchmark instruction-budget scale")
 	priority := flag.Bool("priority", true, "priority arbitration (snack runs)")
+	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
 	flag.Parse()
+	experiments.SetWorkers(*jobs)
 
 	w, h := parseMesh(*mesh)
 	switch {

@@ -46,24 +46,37 @@ type Fig1Result struct {
 }
 
 // RunFig1 reproduces Fig 1: execution slowdown of each NoC configuration
-// relative to BiNoCHS across the Table III benchmarks.
+// relative to BiNoCHS across the Table III benchmarks. The benchmark ×
+// variant cells (including each benchmark's BiNoCHS baseline) run on the
+// sweep worker pool; slowdowns are assembled afterwards in row order.
 func RunFig1(benchmarks []*traffic.Profile, scale Scale) (*Fig1Result, error) {
 	variants := Fig1Variants(4, 4)
 	res := &Fig1Result{}
 	for _, v := range variants[1:] {
 		res.Variants = append(res.Variants, v.Label)
 	}
-	for _, prof := range benchmarks {
-		base, err := RunBenchmark(variants[0].Cfg, prof, scale)
+	nv := len(variants)
+	runs := make([]*BenchRun, len(benchmarks)*nv)
+	err := forEach(len(runs), func(i int) error {
+		prof, v := benchmarks[i/nv], variants[i%nv]
+		run, err := RunBenchmark(v.Cfg, prof, scale)
 		if err != nil {
-			return nil, fmt.Errorf("fig1 baseline: %w", err)
-		}
-		row := Fig1Row{Benchmark: prof.Name}
-		for _, v := range variants[1:] {
-			run, err := RunBenchmark(v.Cfg, prof, scale)
-			if err != nil {
-				return nil, fmt.Errorf("fig1 %s on %s: %w", prof.Name, v.Label, err)
+			if i%nv == 0 {
+				return fmt.Errorf("fig1 baseline: %w", err)
 			}
+			return fmt.Errorf("fig1 %s on %s: %w", prof.Name, v.Label, err)
+		}
+		runs[i] = run
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, prof := range benchmarks {
+		base := runs[bi*nv]
+		row := Fig1Row{Benchmark: prof.Name}
+		for vi := 1; vi < nv; vi++ {
+			run := runs[bi*nv+vi]
 			slow := (float64(run.Runtime)/float64(base.Runtime) - 1) * 100
 			row.SlowdownPct = append(row.SlowdownPct, slow)
 		}

@@ -37,21 +37,38 @@ type Fig12Result struct {
 }
 
 // RunFig12 reproduces Fig 12 for the given benchmarks and kernels. The
-// full paper matrix is 16 benchmarks × 4 kernels × 2 arbitration modes.
+// full paper matrix is 16 benchmarks × 4 kernels × 2 arbitration modes;
+// every benchmark × kernel × mode co-run is an independent simulation,
+// so the flattened matrix runs on the sweep worker pool and the rows
+// (and the Fig 11 pick) are assembled afterwards in serial order.
 func RunFig12(benchmarks []*traffic.Profile, kernels []cpu.KernelName, dims KernelDims, scale Scale, priorityModes []bool) (*Fig12Result, error) {
+	np := len(priorityModes)
+	nk := len(kernels) * np
+	cells := make([]*CoRunResult, len(benchmarks)*nk)
+	err := forEach(len(cells), func(i int) error {
+		prof := benchmarks[i/nk]
+		k := kernels[(i%nk)/np]
+		pri := priorityModes[i%np]
+		spec := CoRunSpec{
+			Bench: prof, Kernel: k, Dims: dims,
+			Width: 4, Height: 4, Priority: pri, Scale: scale,
+		}
+		r, err := RunCoRun(spec)
+		if err != nil {
+			return fmt.Errorf("fig12 %s × %s (pri=%v): %w", prof.Name, k, pri, err)
+		}
+		cells[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig12Result{}
-	for _, prof := range benchmarks {
+	for bi, prof := range benchmarks {
 		row := Fig12Row{Benchmark: prof.Name}
-		for _, k := range kernels {
-			for _, pri := range priorityModes {
-				spec := CoRunSpec{
-					Bench: prof, Kernel: k, Dims: dims,
-					Width: 4, Height: 4, Priority: pri, Scale: scale,
-				}
-				r, err := RunCoRun(spec)
-				if err != nil {
-					return nil, fmt.Errorf("fig12 %s × %s (pri=%v): %w", prof.Name, k, pri, err)
-				}
+		for ki, k := range kernels {
+			for pi, pri := range priorityModes {
+				r := cells[bi*nk+ki*np+pi]
 				row.Cells = append(row.Cells, Fig12Cell{
 					Kernel:            k,
 					Priority:          pri,
@@ -116,30 +133,37 @@ func Fig13Meshes() [][2]int {
 	return [][2]int{{4, 4}, {8, 4}, {8, 8}, {16, 8}}
 }
 
-// RunFig13 reproduces Fig 13 for the given benchmarks.
+// RunFig13 reproduces Fig 13 for the given benchmarks. The mesh ×
+// benchmark cells run on the sweep worker pool.
 func RunFig13(benchmarks []*traffic.Profile, dims KernelDims, scale Scale) (*Fig13Result, error) {
-	res := &Fig13Result{}
-	for _, mesh := range Fig13Meshes() {
+	meshes := Fig13Meshes()
+	nb := len(benchmarks)
+	points := make([]Fig13Point, len(meshes)*nb)
+	err := forEach(len(points), func(i int) error {
+		mesh := meshes[i/nb]
+		prof := benchmarks[i%nb]
 		nodes := mesh[0] * mesh[1]
 		// Keep total simulated work bounded as the mesh grows.
 		s := scale * Scale(16.0/float64(nodes))
-		for _, prof := range benchmarks {
-			spec := CoRunSpec{
-				Bench: prof, Kernel: cpu.KernelSGEMM, Dims: dims,
-				Width: mesh[0], Height: mesh[1], Priority: true, Scale: s,
-			}
-			r, err := RunCoRun(spec)
-			if err != nil {
-				return nil, fmt.Errorf("fig13 %s at %d nodes: %w", prof.Name, nodes, err)
-			}
-			res.Points = append(res.Points, Fig13Point{
-				Benchmark: prof.Name,
-				Nodes:     nodes,
-				ImpactPct: r.ImpactPct(),
-			})
+		spec := CoRunSpec{
+			Bench: prof, Kernel: cpu.KernelSGEMM, Dims: dims,
+			Width: mesh[0], Height: mesh[1], Priority: true, Scale: s,
 		}
+		r, err := RunCoRun(spec)
+		if err != nil {
+			return fmt.Errorf("fig13 %s at %d nodes: %w", prof.Name, nodes, err)
+		}
+		points[i] = Fig13Point{
+			Benchmark: prof.Name,
+			Nodes:     nodes,
+			ImpactPct: r.ImpactPct(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig13Result{Points: points}, nil
 }
 
 // MaxImpact returns the worst impact at one platform size.

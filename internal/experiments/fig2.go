@@ -22,17 +22,23 @@ type Fig2Result struct {
 	Runs []*BenchRun
 }
 
-// RunFig2 reproduces Fig 2 (both panels).
+// RunFig2 reproduces Fig 2 (both panels). The four benchmark runs are
+// independent simulations and execute on the sweep worker pool.
 func RunFig2(scale Scale) (*Fig2Result, error) {
-	res := &Fig2Result{}
-	for _, prof := range Fig2Benchmarks() {
-		run, err := RunBenchmark(noc.DAPPER(4, 4), prof, scale)
+	benches := Fig2Benchmarks()
+	runs := make([]*BenchRun, len(benches))
+	err := forEach(len(benches), func(i int) error {
+		run, err := RunBenchmark(noc.DAPPER(4, 4), benches[i], scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Runs = append(res.Runs, run)
+		runs[i] = run
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig2Result{Runs: runs}, nil
 }
 
 // Fig3Result is the Raytrace input-buffer occupancy CDF. The paper picks

@@ -39,7 +39,12 @@ type Fig9Result struct {
 func RunFig9(dims KernelDims, cpuCfg cpu.CPUConfig) (*Fig9Result, error) {
 	res := &Fig9Result{Dims: dims}
 	paper := PaperKernelDims()
-	for _, k := range cpu.Kernels() {
+	kernels := cpu.Kernels()
+	rows := make([]Fig9Row, len(kernels))
+	// Each kernel's compile + zero-load simulation is self-contained, so
+	// the rows run on the sweep worker pool.
+	err := forEach(len(kernels), func(ki int) error {
+		k := kernels[ki]
 		row := Fig9Row{Kernel: k, RCUsUsed: 16}
 		for i, threads := range []int{1, 2, 4, 8} {
 			row.CoreSpeedups[i] = cpu.CPUSpeedup(k, paper.cpuDims(k), threads, cpuCfg)
@@ -48,11 +53,11 @@ func RunFig9(dims KernelDims, cpuCfg cpu.CPUConfig) (*Fig9Result, error) {
 
 		g, err := BuildKernelGraph(k, dims, Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prog, err := CompileKernel(k, dims, 16, Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.Instructions = prog.Instructions()
 		row.InputTokens = prog.InputTokens()
@@ -60,11 +65,11 @@ func RunFig9(dims KernelDims, cpuCfg cpu.CPUConfig) (*Fig9Result, error) {
 		eng := sim.NewEngine()
 		plat, err := core.NewStandalone(eng, 4, 4, true, core.DefaultPlatformConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r, err := plat.Run(prog, 1_000_000_000)
 		if err != nil {
-			return nil, fmt.Errorf("fig9 %s: %w", k, err)
+			return fmt.Errorf("fig9 %s: %w", k, err)
 		}
 		row.SnackCycles = r.Cycles()
 		row.SnackSpeedup = float64(row.CPUOneCycles) / float64(row.SnackCycles)
@@ -72,17 +77,22 @@ func RunFig9(dims KernelDims, cpuCfg cpu.CPUConfig) (*Fig9Result, error) {
 		// Verify the platform computed the right answer.
 		want := g.Eval()
 		if len(want) != len(r.Values) {
-			return nil, fmt.Errorf("fig9 %s: %d results, want %d", k, len(r.Values), len(want))
+			return fmt.Errorf("fig9 %s: %d results, want %d", k, len(r.Values), len(want))
 		}
 		for i := range want {
 			if want[i] != r.Values[i] {
-				return nil, fmt.Errorf("fig9 %s: result %d mismatch (%v vs %v)",
+				return fmt.Errorf("fig9 %s: result %d mismatch (%v vs %v)",
 					k, i, r.Values[i].Float(), want[i].Float())
 			}
 		}
 		row.CheckedOutput = true
-		res.Rows = append(res.Rows, row)
+		rows[ki] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

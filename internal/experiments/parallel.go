@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The experiment sweeps (Figs 1, 2, 9, 12, 13) are embarrassingly
+// parallel: every cell builds its own sim.Engine, noc.Network, cache
+// hierarchy, and workload, and seeds its RNG streams deterministically
+// from the package Seed constant — no state crosses cells. The runner
+// therefore fans cells out across a worker pool and writes each result
+// into a pre-sized slice by index, so the assembled output is identical
+// to the serial runner's regardless of completion order (see DESIGN.md,
+// "Why per-cell parallelism cannot change simulated behavior").
+
+var (
+	workersMu sync.Mutex
+	workers   int // 0 = runtime.NumCPU()
+)
+
+// SetWorkers sets the sweep fan-out. n <= 0 restores the default
+// (runtime.NumCPU()); n == 1 reproduces the serial runner bit-for-bit,
+// including error short-circuiting.
+func SetWorkers(n int) {
+	workersMu.Lock()
+	defer workersMu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	workers = n
+}
+
+// Workers returns the effective sweep fan-out.
+func Workers() int {
+	workersMu.Lock()
+	defer workersMu.Unlock()
+	if workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return workers
+}
+
+// forEach runs fn(0..n-1) across the configured workers. With one worker
+// it degenerates to the classic serial loop (in-order, stopping at the
+// first error). With more, all cells run and the error of the
+// lowest-indexed failing cell is returned, so the reported failure does
+// not depend on goroutine scheduling.
+func forEach(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	j := Workers()
+	if j > n {
+		j = n
+	}
+	if j <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	idx := make(chan int)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < j; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -77,10 +77,75 @@ func (f *Flit) String() string {
 		f.PacketID, f.Type, f.Src, f.Dst, f.VNet, f.VC, f.SeqInPkt+1, f.PktFlits)
 }
 
-// flitize serializes a packet into flits for the given channel width.
-func flitize(p *Packet, cfg *Config) []*Flit {
+// flitPool recycles Flit objects and flitization scratch slices within
+// one network. Every simulation runs on a single goroutine (parallelism
+// in this repository is per-engine, never intra-engine), so a plain
+// free-list needs no locking and — unlike sync.Pool — is fully
+// deterministic. Flits are returned when they leave the network: consumed
+// by a compute unit, drained into the CPM overflow path, or reassembled
+// at an ejection NI.
+type flitPool struct {
+	flits  []*Flit
+	slices [][]*Flit
+}
+
+// get returns a zeroed flit. A nil pool degrades to plain allocation so
+// unit tests can flitize without a network.
+func (p *flitPool) get() *Flit {
+	if p == nil {
+		return &Flit{}
+	}
+	if n := len(p.flits); n > 0 {
+		f := p.flits[n-1]
+		p.flits = p.flits[:n-1]
+		return f
+	}
+	return &Flit{}
+}
+
+// put recycles a flit that has left the network. All fields are cleared so
+// a pooled flit retains no payload reference.
+func (p *flitPool) put(f *Flit) {
+	if p == nil {
+		return
+	}
+	*f = Flit{}
+	p.flits = append(p.flits, f)
+}
+
+// getSlice returns a length-n flit slice, reusing a retired flitization
+// buffer when one is large enough.
+func (p *flitPool) getSlice(n int) []*Flit {
+	if p != nil {
+		if k := len(p.slices); k > 0 {
+			s := p.slices[k-1]
+			p.slices = p.slices[:k-1]
+			if cap(s) >= n {
+				return s[:n]
+			}
+		}
+	}
+	return make([]*Flit, n)
+}
+
+// putSlice retires a flitization buffer once its last flit has been
+// handed to the router.
+func (p *flitPool) putSlice(s []*Flit) {
+	if p == nil || cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = nil
+	}
+	p.slices = append(p.slices, s[:0])
+}
+
+// flitize serializes a packet into flits for the given channel width,
+// drawing storage from pool (which may be nil).
+func flitize(p *Packet, cfg *Config, pool *flitPool) []*Flit {
 	n := cfg.FlitsFor(p.SizeBytes)
-	flits := make([]*Flit, n)
+	flits := pool.getSlice(n)
 	for i := 0; i < n; i++ {
 		t := BodyFlit
 		switch {
@@ -91,17 +156,16 @@ func flitize(p *Packet, cfg *Config) []*Flit {
 		case i == n-1:
 			t = TailFlit
 		}
-		f := &Flit{
-			PacketID:    p.ID,
-			Type:        t,
-			Src:         p.Src,
-			Dst:         p.Dst,
-			VNet:        p.VNet,
-			SeqInPkt:    i,
-			PktFlits:    n,
-			Loop:        p.Loop,
-			InjectCycle: p.InjectCycle,
-		}
+		f := pool.get()
+		f.PacketID = p.ID
+		f.Type = t
+		f.Src = p.Src
+		f.Dst = p.Dst
+		f.VNet = p.VNet
+		f.SeqInPkt = i
+		f.PktFlits = n
+		f.Loop = p.Loop
+		f.InjectCycle = p.InjectCycle
 		if f.IsHead() {
 			f.Payload = p.Payload
 		}

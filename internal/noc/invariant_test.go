@@ -110,3 +110,118 @@ func TestWormholeDelivery(t *testing.T) {
 type clientFunc func(*Packet, int64)
 
 func (f clientFunc) Deliver(p *Packet, cycle int64) { f(p, cycle) }
+
+// TestQuiescenceEquivalence: running the same bursty traffic with the
+// active list enabled and disabled must be cycle-identical — same
+// delivery cycles, same crossbar moves, same utilization denominators,
+// same sampled time series, same occupancy histogram. This is the
+// correctness contract of the quiescence kernel: sleeping a router can
+// save host work but must never change simulated behaviour or statistics.
+func TestQuiescenceEquivalence(t *testing.T) {
+	type delivery struct {
+		id    uint64
+		src   NodeID
+		cycle int64
+	}
+	build := func(quiesce bool) (*sim.Engine, *Network, *[]delivery) {
+		eng := sim.NewEngine()
+		eng.SetQuiescence(quiesce)
+		net, err := New(eng, DAPPER(4, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.EnableSampling(64)
+		got := &[]delivery{}
+		for i := 0; i < 16; i++ {
+			net.AttachClient(NodeID(i), clientFunc(func(p *Packet, cycle int64) {
+				*got = append(*got, delivery{p.ID, p.Src, cycle})
+			}))
+		}
+		// Bursty schedule with long silent gaps, so the quiescent engine
+		// actually sleeps routers between bursts.
+		rng := uint64(11)
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return int((rng >> 33) % uint64(n))
+		}
+		var sched []srcEntry
+		for burst := 0; burst < 6; burst++ {
+			start := int64(burst * 700) // ~650 idle cycles between bursts
+			for c := start; c < start+50; c++ {
+				for s := 0; s < 16; s++ {
+					if next(10) < 4 {
+						d := next(16)
+						if d == s {
+							continue
+						}
+						size := CtrlBytes
+						if next(2) == 0 {
+							size = DataBytes
+						}
+						sched = append(sched, srcEntry{cycle: c,
+							pkt: &Packet{Src: NodeID(s), Dst: NodeID(d), VNet: next(2), SizeBytes: size}})
+					}
+				}
+			}
+		}
+		eng.Register(&source{net: net, sched: sched})
+		return eng, net, got
+	}
+
+	engQ, netQ, gotQ := build(true)
+	engR, netR, gotR := build(false)
+	const cycles = 6 * 700
+	engQ.Run(cycles)
+	engR.Run(cycles)
+
+	if len(*gotQ) == 0 {
+		t.Fatal("no deliveries — schedule broken")
+	}
+	if len(*gotQ) != len(*gotR) {
+		t.Fatalf("quiescent delivered %d packets, reference %d", len(*gotQ), len(*gotR))
+	}
+	for i := range *gotQ {
+		if (*gotQ)[i] != (*gotR)[i] {
+			t.Fatalf("delivery %d differs: quiescent %+v, reference %+v", i, (*gotQ)[i], (*gotR)[i])
+		}
+	}
+	for i := range netQ.Routers() {
+		rq, rr := netQ.Routers()[i], netR.Routers()[i]
+		if rq.XbarMoves() != rr.XbarMoves() {
+			t.Errorf("%s: xbar moves %d vs %d", rq.Name(), rq.XbarMoves(), rr.XbarMoves())
+		}
+		uq, ur := rq.XbarUtil(), rr.XbarUtil()
+		if uq.Busy() != ur.Busy() || uq.Total() != ur.Total() {
+			t.Errorf("%s: xbar util %d/%d vs %d/%d",
+				rq.Name(), uq.Busy(), uq.Total(), ur.Busy(), ur.Total())
+		}
+		for d := Direction(0); d < numDirections; d++ {
+			lq, lr := rq.LinkUtil(d), rr.LinkUtil(d)
+			if (lq == nil) != (lr == nil) {
+				t.Fatalf("%s out %s: link util presence differs", rq.Name(), d)
+			}
+			if lq != nil && (lq.Busy() != lr.Busy() || lq.Total() != lr.Total()) {
+				t.Errorf("%s out %s: link util %d/%d vs %d/%d",
+					rq.Name(), d, lq.Busy(), lq.Total(), lr.Busy(), lr.Total())
+			}
+		}
+		sq, sr := rq.XbarSeries().Samples(), rr.XbarSeries().Samples()
+		if len(sq) != len(sr) {
+			t.Fatalf("%s: %d series samples vs %d", rq.Name(), len(sq), len(sr))
+		}
+		for j := range sq {
+			if sq[j] != sr[j] {
+				t.Errorf("%s: series sample %d = %v vs %v", rq.Name(), j, sq[j], sr[j])
+			}
+		}
+		cq, cr := rq.BufferHistogram().CDF(), rr.BufferHistogram().CDF()
+		if len(cq) != len(cr) {
+			t.Fatalf("%s: CDF lengths differ", rq.Name())
+		}
+		for j := range cq {
+			if cq[j] != cr[j] {
+				t.Errorf("%s: CDF point %d = %+v vs %+v", rq.Name(), j, cq[j], cr[j])
+			}
+		}
+	}
+}

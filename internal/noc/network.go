@@ -13,6 +13,10 @@ type Network struct {
 	routers []*Router
 	nis     []*NI
 	loop    *LoopRoute
+	// pool recycles flits network-wide. Each network lives on exactly one
+	// goroutine (sweep parallelism is per-engine), so the free-list is
+	// lock-free and deterministic.
+	pool flitPool
 
 	nextPktID uint64
 }
@@ -29,7 +33,8 @@ func New(eng *sim.Engine, cfg *Config) (*Network, error) {
 	n.nis = make([]*NI, nodes)
 	for i := 0; i < nodes; i++ {
 		n.routers[i] = newRouter(NodeID(i), cfg)
-		n.nis[i] = newNI(NodeID(i), cfg)
+		n.routers[i].pool = &n.pool
+		n.nis[i] = newNI(NodeID(i), cfg, &n.pool)
 	}
 
 	// Mesh links: for each adjacent pair, create the downstream input
@@ -74,8 +79,8 @@ func New(eng *sim.Engine, cfg *Config) (*Network, error) {
 
 	for i := 0; i < nodes; i++ {
 		n.routers[i].finalize()
-		eng.Register(n.routers[i])
-		eng.Register(n.nis[i])
+		n.routers[i].setHandle(eng.Register(n.routers[i]))
+		n.nis[i].setHandle(eng.Register(n.nis[i]))
 	}
 	return n, nil
 }
@@ -111,6 +116,7 @@ func (n *Network) AttachCompute(id NodeID, cu ComputeUnit) *InjectPort {
 		node:     id,
 		vnet:     n.cfg.SnackVNet,
 		net:      n,
+		pool:     &n.pool,
 		out:      in.in,
 		creditIn: in.credit,
 		credits:  make([]int, n.cfg.VNets[n.cfg.SnackVNet].VCs),
@@ -201,6 +207,7 @@ type InjectPort struct {
 	node     NodeID
 	vnet     int
 	net      *Network
+	pool     *flitPool
 	out      *wire[*Flit]
 	creditIn *wire[creditMsg]
 	credits  []int
@@ -212,9 +219,9 @@ func (p *InjectPort) Node() NodeID { return p.node }
 
 // Update ingests returned credits; call once per cycle before CanSend.
 func (p *InjectPort) Update(cycle int64) {
-	for _, msg := range p.creditIn.popReady(cycle) {
+	p.creditIn.drainReady(cycle, func(msg creditMsg) {
 		p.credits[msg.vc]++
-	}
+	})
 }
 
 // FreeSlots returns the number of free downstream buffer slots.
@@ -240,18 +247,17 @@ func (p *InjectPort) Send(dst NodeID, payload any, loop bool, cycle int64) bool 
 		}
 		p.credits[c]--
 		p.rr = c + 1
-		f := &Flit{
-			PacketID:    p.net.NewPacketID(),
-			Type:        HeadTailFlit,
-			Src:         p.node,
-			Dst:         dst,
-			VNet:        p.vnet,
-			VC:          c,
-			PktFlits:    1,
-			Payload:     payload,
-			Loop:        loop,
-			InjectCycle: cycle,
-		}
+		f := p.pool.get()
+		f.PacketID = p.net.NewPacketID()
+		f.Type = HeadTailFlit
+		f.Src = p.node
+		f.Dst = dst
+		f.VNet = p.vnet
+		f.VC = c
+		f.PktFlits = 1
+		f.Payload = payload
+		f.Loop = loop
+		f.InjectCycle = cycle
 		p.out.push(f, cycle+1)
 		return true
 	}

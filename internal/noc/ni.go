@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"snacknoc/internal/sim"
 	"snacknoc/internal/stats"
 )
 
@@ -12,10 +13,11 @@ type Client interface {
 	Deliver(p *Packet, cycle int64)
 }
 
-// txn is one packet mid-injection: its remaining flits and the router
-// input VC it holds.
+// txn is one packet mid-injection: its flits (those at index >= next are
+// still to send) and the router input VC it holds.
 type txn struct {
 	flits []*Flit
+	next  int
 	vnet  int
 	vc    int
 }
@@ -34,10 +36,13 @@ type injectReq struct {
 type NI struct {
 	node NodeID
 	cfg  *Config
+	pool *flitPool
 
 	toRouter   *wire[*Flit]     // router local-port arrivals (we write)
 	creditIn   *wire[creditMsg] // credits from the router (we read)
 	fromRouter *wire[*Flit]     // ejected flits (we read)
+
+	handle *sim.Handle // engine wake handle, for Inject calls while asleep
 
 	credits [][]int
 	vcBusy  [][]bool
@@ -48,6 +53,10 @@ type NI struct {
 	active   []*txn
 	txRR     int
 	staged   *Flit
+
+	// free lists for per-packet bookkeeping records
+	txnFree   []*txn
+	reasmFree []*reasmState
 
 	client Client
 	reasm  map[uint64]*reasmState
@@ -67,10 +76,11 @@ type reasmState struct {
 	seen int
 }
 
-func newNI(node NodeID, cfg *Config) *NI {
+func newNI(node NodeID, cfg *Config, pool *flitPool) *NI {
 	return &NI{
 		node:       node,
 		cfg:        cfg,
+		pool:       pool,
 		fromRouter: &wire[*Flit]{},
 		waiting:    make([][]*Packet, len(cfg.VNets)),
 		reasm:      make(map[uint64]*reasmState),
@@ -98,6 +108,14 @@ func (ni *NI) connect(local *inputPort) {
 	}
 }
 
+// setHandle installs the NI's engine wake handle on the wires it reads
+// and keeps it for Inject-time wake-ups.
+func (ni *NI) setHandle(h *sim.Handle) {
+	ni.handle = h
+	ni.fromRouter.waker = h
+	ni.creditIn.waker = h
+}
+
 // AttachClient sets the packet receiver for this node.
 func (ni *NI) AttachClient(c Client) { ni.client = c }
 
@@ -107,6 +125,7 @@ func (ni *NI) AttachClient(c Client) { ni.client = c }
 // the Network.
 func (ni *NI) Inject(p *Packet, cycle int64) {
 	ni.incoming = append(ni.incoming, injectReq{pkt: p, stamp: cycle})
+	ni.handle.WakeAt(cycle + 1)
 }
 
 // QueueLen returns the number of packets queued or mid-flight at the NI
@@ -140,6 +159,28 @@ func (ni *NI) AvgLatency(vnet int) float64 {
 	}
 	return float64(ni.latSum[vnet]) / float64(ni.latCount[vnet])
 }
+
+// Quiescent implements sim.Quiescer: the NI may sleep when no packet is
+// queued, staged, or mid-transmission and neither wire it reads holds
+// entries. Inject and the wires' wakers rouse it. Reassembly state may
+// be non-empty while asleep — the packet's remaining flits are upstream,
+// and their eventual arrival on fromRouter wakes the NI.
+func (ni *NI) Quiescent() bool {
+	if len(ni.incoming) > 0 || len(ni.active) > 0 || ni.staged != nil ||
+		ni.creditIn.pending() > 0 || ni.fromRouter.pending() > 0 {
+		return false
+	}
+	for _, w := range ni.waiting {
+		if len(w) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CatchUp implements sim.Quiescer. An idle NI records no per-cycle
+// statistics, so skipped cycles need no replay.
+func (ni *NI) CatchUp(int64) {}
 
 // Evaluate implements sim.Component: credit ingestion, VC allocation for
 // waiting packets, flit transmission, and ejection-side reassembly.
@@ -181,15 +222,14 @@ func (ni *NI) Evaluate(cycle int64) {
 			if ni.vcBusy[v][c] {
 				continue
 			}
-			p := ni.waiting[v][0]
-			ni.waiting[v] = ni.waiting[v][1:]
+			p := ni.popWaiting(v)
 			ni.vcBusy[v][c] = true
 			ni.vcRR[v] = c + 1
-			flits := flitize(p, ni.cfg)
+			flits := flitize(p, ni.cfg, ni.pool)
 			for _, f := range flits {
 				f.VC = c
 			}
-			ni.active = append(ni.active, &txn{flits: flits, vnet: v, vc: c})
+			ni.active = append(ni.active, ni.newTxn(flits, v, c))
 			break
 		}
 	}
@@ -203,13 +243,13 @@ func (ni *NI) Evaluate(cycle int64) {
 			if ni.credits[t.vnet][t.vc] <= 0 {
 				continue
 			}
-			f := t.flits[0]
-			t.flits = t.flits[1:]
+			f := t.flits[t.next]
+			t.next++
 			ni.credits[t.vnet][t.vc]--
 			ni.staged = f
 			ni.flitsOut.Inc()
 			ni.txRR = (ni.txRR + i + 1) % n
-			if len(t.flits) == 0 {
+			if t.next == len(t.flits) {
 				ni.vcBusy[t.vnet][t.vc] = false
 				ni.removeTxn(t)
 			}
@@ -218,17 +258,11 @@ func (ni *NI) Evaluate(cycle int64) {
 	}
 
 	// Ejection: reassemble arriving flits into packets.
-	for _, f := range ni.fromRouter.popReady(cycle) {
+	ni.fromRouter.drainReady(cycle, func(f *Flit) {
 		ni.flitsIn.Inc()
 		st := ni.reasm[f.PacketID]
 		if st == nil {
-			st = &reasmState{pkt: &Packet{
-				ID:          f.PacketID,
-				Src:         f.Src,
-				Dst:         f.Dst,
-				VNet:        f.VNet,
-				InjectCycle: f.InjectCycle,
-			}}
+			st = ni.newReasm(f)
 			ni.reasm[f.PacketID] = st
 		}
 		if f.IsHead() {
@@ -236,16 +270,22 @@ func (ni *NI) Evaluate(cycle int64) {
 			st.pkt.Loop = f.Loop
 		}
 		st.seen++
-		if st.seen == f.PktFlits {
+		done := st.seen == f.PktFlits
+		vnet, inject := f.VNet, f.InjectCycle
+		ni.pool.put(f)
+		if done {
 			delete(ni.reasm, f.PacketID)
 			ni.ejected.Inc()
-			ni.latSum[f.VNet] += cycle - f.InjectCycle
-			ni.latCount[f.VNet]++
+			ni.latSum[vnet] += cycle - inject
+			ni.latCount[vnet]++
+			pkt := st.pkt
+			st.pkt = nil
+			ni.reasmFree = append(ni.reasmFree, st)
 			if ni.client != nil {
-				ni.client.Deliver(st.pkt, cycle)
+				ni.client.Deliver(pkt, cycle)
 			}
 		}
-	}
+	})
 }
 
 // Advance pushes the staged flit onto the local link.
@@ -256,10 +296,60 @@ func (ni *NI) Advance(cycle int64) {
 	}
 }
 
+// popWaiting dequeues the front packet of a vnet queue, preserving the
+// queue's backing array (q = q[1:] would strand capacity and force a
+// reallocation per packet).
+func (ni *NI) popWaiting(v int) *Packet {
+	q := ni.waiting[v]
+	p := q[0]
+	n := len(q) - 1
+	copy(q, q[1:])
+	q[n] = nil
+	ni.waiting[v] = q[:n]
+	return p
+}
+
+// newTxn builds a transmission record, reusing a retired one when
+// available.
+func (ni *NI) newTxn(flits []*Flit, vnet, vc int) *txn {
+	if n := len(ni.txnFree); n > 0 {
+		t := ni.txnFree[n-1]
+		ni.txnFree = ni.txnFree[:n-1]
+		t.flits, t.next, t.vnet, t.vc = flits, 0, vnet, vc
+		return t
+	}
+	return &txn{flits: flits, vnet: vnet, vc: vc}
+}
+
+// newReasm builds a reassembly record for the packet f opens, reusing a
+// retired record when available. The Packet itself is always fresh:
+// clients own delivered packets and may retain them.
+func (ni *NI) newReasm(f *Flit) *reasmState {
+	var st *reasmState
+	if n := len(ni.reasmFree); n > 0 {
+		st = ni.reasmFree[n-1]
+		ni.reasmFree = ni.reasmFree[:n-1]
+		st.seen = 0
+	} else {
+		st = &reasmState{}
+	}
+	st.pkt = &Packet{
+		ID:          f.PacketID,
+		Src:         f.Src,
+		Dst:         f.Dst,
+		VNet:        f.VNet,
+		InjectCycle: f.InjectCycle,
+	}
+	return st
+}
+
 func (ni *NI) removeTxn(t *txn) {
 	for i, a := range ni.active {
 		if a == t {
 			ni.active = append(ni.active[:i], ni.active[i+1:]...)
+			ni.pool.putSlice(t.flits)
+			t.flits = nil
+			ni.txnFree = append(ni.txnFree, t)
 			return
 		}
 	}

@@ -366,7 +366,7 @@ func TestFlitsFor(t *testing.T) {
 func TestFlitize(t *testing.T) {
 	cfg := DAPPER(4, 4)
 	p := &Packet{ID: 7, Src: 1, Dst: 2, VNet: VNetResp, SizeBytes: 72, Payload: "data"}
-	fl := flitize(p, cfg)
+	fl := flitize(p, cfg, nil)
 	if len(fl) != 5 {
 		t.Fatalf("got %d flits, want 5", len(fl))
 	}
@@ -381,7 +381,7 @@ func TestFlitize(t *testing.T) {
 	if fl[0].Payload != "data" || fl[1].Payload != nil {
 		t.Fatal("payload should only ride the head flit")
 	}
-	single := flitize(&Packet{SizeBytes: 8}, cfg)
+	single := flitize(&Packet{SizeBytes: 8}, cfg, nil)
 	if len(single) != 1 || single[0].Type != HeadTailFlit {
 		t.Fatalf("single-flit packet wrong: %v", single[0].Type)
 	}

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"snacknoc/internal/sim"
 	"snacknoc/internal/stats"
 )
 
@@ -56,6 +57,19 @@ type inputVC struct {
 	refIdx  int // index into Router.refs
 }
 
+// popFront dequeues the head flit while preserving the queue's backing
+// array. The naive q = q[1:] strands one slot of capacity per pop, forcing
+// append to reallocate the buffer once per flit — the second-largest
+// allocation site in whole-sweep profiles before this was fixed.
+func (v *inputVC) popFront() *Flit {
+	f := v.q[0]
+	n := len(v.q) - 1
+	copy(v.q, v.q[1:])
+	v.q[n] = nil
+	v.q = v.q[:n]
+	return f
+}
+
 // inputPort groups the VCs fed by one incoming link.
 type inputPort struct {
 	dir    Direction
@@ -103,6 +117,7 @@ type Router struct {
 
 	compute ComputeUnit
 	loop    *LoopRoute
+	pool    *flitPool // network-wide flit free-list (nil in bare unit tests)
 
 	refs []vcRef
 
@@ -161,7 +176,9 @@ func (r *Router) addInput(dir Direction, snackOnly bool) *inputPort {
 		}
 		p.vcs[v] = make([]*inputVC, vn.VCs)
 		for c := range p.vcs[v] {
-			p.vcs[v][c] = &inputVC{}
+			// Pre-size each VC buffer to its full depth so the steady
+			// state never reallocates.
+			p.vcs[v][c] = &inputVC{q: make([]*Flit, 0, vn.BufDepth)}
 		}
 	}
 	r.inputs[dir] = p
@@ -265,6 +282,68 @@ func (r *Router) ConsumedSnackFlits() int64 { return r.consumed.Value() }
 
 // attachCompute installs the RCU/CPM hook.
 func (r *Router) attachCompute(cu ComputeUnit) { r.compute = cu }
+
+// setHandle installs the router's engine wake handle on every wire it
+// reads (flit inputs and credit returns), so writers rouse it from
+// quiescence at exactly the entry's arrival cycle.
+func (r *Router) setHandle(h *sim.Handle) {
+	for _, in := range r.inputs {
+		if in != nil {
+			in.in.waker = h
+		}
+	}
+	for _, out := range r.outputs {
+		if out != nil {
+			out.credit.waker = h
+		}
+	}
+}
+
+// Quiescent implements sim.Quiescer: the router may sleep when it buffers
+// no flits, no wire it reads holds entries (ready or in flight), and it
+// has nothing staged. Input-wire pushes and credit returns wake it via
+// the wires' handles, so no work can arrive unnoticed.
+func (r *Router) Quiescent() bool {
+	if r.occupancy > 0 || len(r.stagedCredits) > 0 {
+		return false
+	}
+	for d := Direction(0); d < numDirections; d++ {
+		if in := r.inputs[d]; in != nil && in.in.pending() > 0 {
+			return false
+		}
+		out := r.outputs[d]
+		if out == nil {
+			continue
+		}
+		if out.credit.pending() > 0 || r.stagedOut[d] != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// CatchUp implements sim.Quiescer: replay the per-cycle statistics an
+// always-evaluated idle router would have recorded over idle cycles —
+// idle observations on the crossbar, every output link, and the
+// zero-occupancy bucket of the buffer histogram. This keeps every Fig 2/3
+// measurement bit-identical with quiescence on or off.
+func (r *Router) CatchUp(idle int64) {
+	for d := Direction(0); d < numDirections; d++ {
+		out := r.outputs[d]
+		if out == nil {
+			continue
+		}
+		out.util.ObserveN(0, idle)
+		if out.series != nil {
+			out.series.ObserveIdleN(idle)
+		}
+	}
+	r.xbarUtil.ObserveN(0, idle)
+	if r.xbarSeries != nil {
+		r.xbarSeries.ObserveIdleN(idle)
+	}
+	r.bufHist.ObserveN(0, idle)
+}
 
 // FreeOutputVCs counts free useful virtual output channels across the
 // router's mesh output ports, the quantity tracked by the ALO congestion
@@ -400,6 +479,7 @@ func (r *Router) ingestArrivals(cycle int64) {
 					r.consumed.Inc()
 					r.stagedCredits = append(r.stagedCredits,
 						stagedCredit{port: in.dir, msg: creditMsg{vnet: f.VNet, vc: f.VC}})
+					r.pool.put(f)
 					return
 				}
 				if f.Loop {
@@ -461,8 +541,7 @@ func (r *Router) allocateVCs(cycle int64) {
 		if drainer != nil && ref.vnet == r.cfg.SnackVNet && ivc.q[0].Loop &&
 			drainer.DrainLoopFlit(ivc.q[0], cycle) {
 			// Absorbed into the CPM's overflow buffer: free the slot.
-			f := ivc.q[0]
-			ivc.q = ivc.q[1:]
+			f := ivc.popFront()
 			r.occupancy--
 			r.consumed.Inc()
 			r.stagedCredits = append(r.stagedCredits,
@@ -470,6 +549,7 @@ func (r *Router) allocateVCs(cycle int64) {
 			if !f.IsTail() {
 				panic(fmt.Sprintf("%s: drained a multi-flit loop packet", r.Name()))
 			}
+			r.pool.put(f)
 			if len(ivc.q) > 0 {
 				ivc.state = vcRoute
 				r.needRoute = append(r.needRoute, idx)
@@ -558,8 +638,7 @@ func (r *Router) traverse(d Direction, win int, granted *[numDirections]bool) {
 	out := r.outputs[d]
 	ref := &r.refs[win]
 	ivc := ref.ivc
-	f := ivc.q[0]
-	ivc.q = ivc.q[1:]
+	f := ivc.popFront()
 	r.occupancy--
 	f.VC = ivc.outVC
 	out.credits[ref.vnet][ivc.outVC]--

@@ -1,5 +1,7 @@
 package noc
 
+import "snacknoc/internal/sim"
+
 // wire is a unidirectional, latency-carrying channel between two
 // components (flits router→router, credits back the other way). The
 // writer appends during its Advance phase with an absolute arrival cycle;
@@ -7,8 +9,13 @@ package noc
 // Because Advance at cycle T always schedules arrival at T+1 or later,
 // readers never observe same-cycle writes, keeping the two-phase update
 // deterministic regardless of component ordering.
+//
+// When the reader is a quiescence-capable component, waker holds its
+// engine handle: every push wakes the reader no later than the entry's
+// arrival cycle, which is what lets routers and NIs sleep safely.
 type wire[T any] struct {
-	q []wireEntry[T]
+	q     []wireEntry[T]
+	waker *sim.Handle
 }
 
 type wireEntry[T any] struct {
@@ -21,6 +28,7 @@ type wireEntry[T any] struct {
 // naturally for constant-latency links.
 func (w *wire[T]) push(v T, arrive int64) {
 	w.q = append(w.q, wireEntry[T]{v: v, arrive: arrive})
+	w.waker.WakeAt(arrive)
 }
 
 // popReady removes and returns, in order, all entries with arrive <= now.

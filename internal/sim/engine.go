@@ -17,6 +17,18 @@
 // for long, data-dependent intervals (for example a DRAM access returning
 // tCAS cycles later). Events scheduled for cycle C run at the start of
 // cycle C, before Evaluate.
+//
+// # Quiescence
+//
+// Components that are idle most of the time (the paper's §II premise:
+// median router utilization is ≤~10%) may additionally implement Quiescer.
+// After each Advance the engine asks such a component whether it has any
+// work pending; if not, the component leaves the active list and its
+// Evaluate/Advance are skipped until something wakes it — an input wire
+// write (see Handle.WakeAt) or a scheduled event. On wake the engine calls
+// CatchUp with the number of fully skipped cycles so per-cycle statistics
+// (utilization denominators, sampled time series, occupancy histograms)
+// remain bit-identical to the always-evaluate execution.
 package sim
 
 import (
@@ -33,6 +45,60 @@ type Component interface {
 	Evaluate(cycle int64)
 	// Advance commits the state computed by Evaluate.
 	Advance(cycle int64)
+}
+
+// Quiescer is optionally implemented by components that can sleep while
+// idle. Quiescent is consulted after the component's Advance; it must
+// return true only when no input wire, queue, or staged output holds work
+// — a quiescent component with no future wake-up would otherwise
+// deadlock. CatchUp is invoked on wake (and when a Run returns) with the
+// number of whole cycles the component was skipped for, so it can replay
+// the idle observations its statistics would have recorded.
+type Quiescer interface {
+	Quiescent() bool
+	CatchUp(idleCycles int64)
+}
+
+// compState is the engine's per-component bookkeeping for the active list.
+type compState struct {
+	c       Component
+	q       Quiescer // nil when the component never sleeps
+	asleep  bool
+	sleptAt int64 // last cycle executed before sleeping
+	wakeAt  int64 // earliest pending wake event (0 = none)
+}
+
+// Handle identifies a registered component to wake-up producers. A nil
+// handle is valid and inert, so wiring code can attach wakers
+// unconditionally.
+type Handle struct {
+	e  *Engine
+	st *compState
+}
+
+// WakeAt ensures the component is awake (and caught up) no later than the
+// start of cycle at. Calling it for an already-awake component is free;
+// redundant or superseded wake-ups are deduplicated. Producers call it
+// whenever they hand a sleeping consumer work that becomes visible at a
+// future cycle.
+func (h *Handle) WakeAt(at int64) {
+	if h == nil {
+		return
+	}
+	st := h.st
+	if !st.asleep {
+		return
+	}
+	e := h.e
+	if at <= e.cycle {
+		e.wake(st)
+		return
+	}
+	if st.wakeAt != 0 && st.wakeAt <= at {
+		return // an earlier wake-up is already scheduled
+	}
+	st.wakeAt = at
+	e.Schedule(at, func() { e.wake(st) })
 }
 
 // event is a scheduled callback.
@@ -65,26 +131,35 @@ func (q *eventQueue) Pop() any {
 // Engine owns global simulated time and the registered components.
 type Engine struct {
 	cycle  int64
-	comps  []Component
+	comps  []*compState
 	events eventQueue
 	seq    int64
+	// eventPool recycles event records; Schedule runs on per-miss and
+	// per-wake paths, so the allocation shows up in whole-sweep profiles.
+	eventPool []*event
+	// quiesce gates the active list; disabled it reproduces the classic
+	// evaluate-everything kernel (used by equivalence tests).
+	quiesce bool
 	// StopRequested lets a component or sampler end Run early.
 	stopped bool
 }
 
 // NewEngine returns an engine at cycle 0 with no components.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{quiesce: true}
 }
 
-// Register adds a component to the engine. Components are evaluated in
-// registration order, but two-phase update makes the order immaterial to
-// simulated behaviour.
-func (e *Engine) Register(c Component) {
+// Register adds a component to the engine and returns its wake handle.
+// Components are evaluated in registration order, but two-phase update
+// makes the order immaterial to simulated behaviour.
+func (e *Engine) Register(c Component) *Handle {
 	if c == nil {
 		panic("sim: Register called with nil component")
 	}
-	e.comps = append(e.comps, c)
+	st := &compState{c: c}
+	st.q, _ = c.(Quiescer)
+	e.comps = append(e.comps, st)
+	return &Handle{e: e, st: st}
 }
 
 // Cycle returns the current simulated cycle. During Evaluate/Advance it is
@@ -99,7 +174,15 @@ func (e *Engine) Schedule(at int64, fn func()) {
 		panic(fmt.Sprintf("sim: Schedule(%d) at or before current cycle %d", at, e.cycle))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{cycle: at, seq: e.seq, fn: fn})
+	var ev *event
+	if n := len(e.eventPool); n > 0 {
+		ev = e.eventPool[n-1]
+		e.eventPool = e.eventPool[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.cycle, ev.seq, ev.fn = at, e.seq, fn
+	heap.Push(&e.events, ev)
 }
 
 // ScheduleAfter runs fn delay cycles from now (delay must be >= 1).
@@ -107,24 +190,90 @@ func (e *Engine) ScheduleAfter(delay int64, fn func()) {
 	e.Schedule(e.cycle+delay, fn)
 }
 
-// Stop makes Run return after the current cycle completes.
+// Stop makes Run return after the current cycle completes. The stop latch
+// stays set — further Run calls return immediately — until Resume clears
+// it.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Stopped reports whether Stop has been called.
+// Resume clears the stop latch so the engine can run again. Stop/Resume
+// make an engine reusable across measurement windows: stop, read
+// statistics, resume.
+func (e *Engine) Resume() { e.stopped = false }
+
+// Stopped reports whether Stop has been called without a matching Resume.
 func (e *Engine) Stopped() bool { return e.stopped }
 
+// SetQuiescence enables or disables the active list. It is enabled by
+// default; disabling it forces every component to be evaluated every cycle
+// (waking and catching up current sleepers), which the equivalence tests
+// use as the reference execution.
+func (e *Engine) SetQuiescence(on bool) {
+	e.quiesce = on
+	if !on {
+		for _, st := range e.comps {
+			if st.asleep {
+				e.wake(st)
+			}
+		}
+	}
+}
+
+// wake returns a sleeping component to the active list, replaying the
+// statistics of the cycles it skipped.
+func (e *Engine) wake(st *compState) {
+	if !st.asleep {
+		return
+	}
+	st.asleep = false
+	st.wakeAt = 0
+	if idle := e.cycle - st.sleptAt - 1; idle > 0 {
+		st.q.CatchUp(idle)
+	}
+}
+
+// Settle replays idle statistics for components that are still asleep, up
+// to (but not including) the current cycle. Run and RunUntil call it
+// before returning so observers always read fully caught-up statistics;
+// callers driving Step directly should call it before reading per-cycle
+// counters.
+func (e *Engine) Settle() {
+	for _, st := range e.comps {
+		if !st.asleep {
+			continue
+		}
+		if idle := e.cycle - st.sleptAt - 1; idle > 0 {
+			st.q.CatchUp(idle)
+			st.sleptAt = e.cycle - 1
+		}
+	}
+}
+
 // Step executes exactly one cycle: pending events, then Evaluate on all
-// components, then Advance on all components.
+// active components, then Advance. Components whose Quiescent reports no
+// pending work leave the active list after their Advance.
 func (e *Engine) Step() {
 	for len(e.events) > 0 && e.events[0].cycle == e.cycle {
 		ev := heap.Pop(&e.events).(*event)
-		ev.fn()
+		fn := ev.fn
+		ev.fn = nil
+		e.eventPool = append(e.eventPool, ev)
+		fn()
 	}
-	for _, c := range e.comps {
-		c.Evaluate(e.cycle)
+	for _, st := range e.comps {
+		if st.asleep {
+			continue
+		}
+		st.c.Evaluate(e.cycle)
 	}
-	for _, c := range e.comps {
-		c.Advance(e.cycle)
+	for _, st := range e.comps {
+		if st.asleep {
+			continue
+		}
+		st.c.Advance(e.cycle)
+		if e.quiesce && st.q != nil && st.q.Quiescent() {
+			st.asleep = true
+			st.sleptAt = e.cycle
+		}
 	}
 	e.cycle++
 }
@@ -137,6 +286,7 @@ func (e *Engine) Run(n int64) int64 {
 		e.Step()
 		done++
 	}
+	e.Settle()
 	return done
 }
 
@@ -149,8 +299,10 @@ func (e *Engine) RunUntil(pred func() bool, max int64) (int64, bool) {
 		e.Step()
 		done++
 		if pred() {
+			e.Settle()
 			return done, true
 		}
 	}
+	e.Settle()
 	return done, pred()
 }

@@ -158,3 +158,132 @@ func TestEventsRunBeforeEvaluate(t *testing.T) {
 		t.Fatalf("event did not precede Evaluate: %v", log)
 	}
 }
+
+func TestResumeClearsStopLatch(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{name: "r"}
+	e.Register(r)
+	e.Schedule(2, func() { e.Stop() })
+	if done := e.Run(10); done != 3 {
+		t.Fatalf("ran %d cycles, want 3 (stop during cycle 2)", done)
+	}
+	// Regression: the stop latch used to be permanent, making a stopped
+	// engine unusable for stop/inspect/resume measurement windows.
+	if done := e.Run(10); done != 0 {
+		t.Fatalf("stopped engine ran %d cycles, want 0", done)
+	}
+	e.Resume()
+	if e.Stopped() {
+		t.Fatal("Stopped() still true after Resume")
+	}
+	if done := e.Run(4); done != 4 {
+		t.Fatalf("resumed engine ran %d cycles, want 4", done)
+	}
+	want := []int64{0, 1, 2, 3, 4, 5, 6}
+	if len(r.evals) != len(want) {
+		t.Fatalf("evals = %v, want %v", r.evals, want)
+	}
+	for i, w := range want {
+		if r.evals[i] != w {
+			t.Fatalf("evals = %v, want %v", r.evals, want)
+		}
+	}
+}
+
+// sleeper is a Quiescer: it holds `pending` work items, consumes one per
+// cycle, and sleeps when none remain. CatchUp accumulates replayed idle
+// cycles so tests can check the skipped-cycle accounting exactly.
+type sleeper struct {
+	recorder
+	pending int
+	idle    int64
+}
+
+func (s *sleeper) Advance(cycle int64) {
+	s.recorder.Advance(cycle)
+	if s.pending > 0 {
+		s.pending--
+	}
+}
+func (s *sleeper) Quiescent() bool    { return s.pending == 0 }
+func (s *sleeper) CatchUp(idle int64) { s.idle += idle }
+
+func TestQuiescentComponentIsSkipped(t *testing.T) {
+	e := NewEngine()
+	s := &sleeper{recorder: recorder{name: "s"}, pending: 2}
+	e.Register(s)
+	e.Run(10)
+	// Cycles 0 and 1 drain the two work items; the component sleeps after
+	// cycle 1 and cycles 2..9 are skipped but replayed by Settle.
+	if len(s.evals) != 2 || s.evals[0] != 0 || s.evals[1] != 1 {
+		t.Fatalf("evals = %v, want [0 1]", s.evals)
+	}
+	if s.idle != 8 {
+		t.Fatalf("idle = %d, want 8", s.idle)
+	}
+	if got := int64(len(s.evals)) + s.idle; got != 10 {
+		t.Fatalf("evaluated+idle = %d cycles, want 10", got)
+	}
+}
+
+func TestWakeAtResumesWithExactCatchUp(t *testing.T) {
+	e := NewEngine()
+	s := &sleeper{recorder: recorder{name: "s"}, pending: 1}
+	h := e.Register(s)
+	e.Run(3) // evaluates cycle 0, sleeps; Settle replays cycles 1-2
+	if len(s.evals) != 1 || s.idle != 2 {
+		t.Fatalf("after first run: evals=%v idle=%d, want [0] and 2", s.evals, s.idle)
+	}
+	// Hand the sleeper work that becomes visible at cycle 6.
+	s.pending = 1
+	h.WakeAt(6)
+	h.WakeAt(7) // superseded by the earlier wake-up; must be deduplicated
+	e.Run(5)    // cycles 3..7: idle 3-5, evaluate 6, re-sleep, idle 7
+	wantEvals := []int64{0, 6}
+	if len(s.evals) != len(wantEvals) {
+		t.Fatalf("evals = %v, want %v", s.evals, wantEvals)
+	}
+	for i, w := range wantEvals {
+		if s.evals[i] != w {
+			t.Fatalf("evals = %v, want %v", s.evals, wantEvals)
+		}
+	}
+	// Every one of the 8 cycles must be either evaluated or replayed once.
+	if got := int64(len(s.evals)) + s.idle; got != 8 {
+		t.Fatalf("evaluated+idle = %d cycles, want 8 (evals=%v idle=%d)", got, s.evals, s.idle)
+	}
+}
+
+func TestWakeAtOnAwakeComponentIsFree(t *testing.T) {
+	e := NewEngine()
+	s := &sleeper{recorder: recorder{name: "s"}, pending: 100}
+	h := e.Register(s)
+	h.WakeAt(5) // awake: must not schedule anything
+	e.Run(3)
+	if s.idle != 0 || len(s.evals) != 3 {
+		t.Fatalf("evals=%v idle=%d, want 3 evals and no idle", s.evals, s.idle)
+	}
+	var nh *Handle
+	nh.WakeAt(5) // nil handles are inert
+}
+
+func TestSetQuiescenceOffEvaluatesEveryCycle(t *testing.T) {
+	e := NewEngine()
+	s := &sleeper{recorder: recorder{name: "s"}, pending: 0}
+	e.Register(s)
+	e.Run(3) // sleeps immediately after cycle 0
+	if len(s.evals) != 1 {
+		t.Fatalf("evals = %v, want just [0]", s.evals)
+	}
+	e.SetQuiescence(false) // wakes and catches up the sleeper
+	if s.idle != 2 {
+		t.Fatalf("idle = %d after disabling quiescence, want 2", s.idle)
+	}
+	e.Run(3)
+	if len(s.evals) != 4 {
+		t.Fatalf("evals = %v, want 4 entries with quiescence off", s.evals)
+	}
+	if got := int64(len(s.evals)) + s.idle; got != 6 {
+		t.Fatalf("evaluated+idle = %d cycles, want 6", got)
+	}
+}

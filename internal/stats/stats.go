@@ -105,6 +105,26 @@ func (t *TimeSeries) Observe(busy bool) {
 	}
 }
 
+// ObserveIdleN records n consecutive idle cycles, equivalent to calling
+// Observe(false) n times. Quiescent components use it to replay skipped
+// cycles in one call; the window arithmetic (including samples completed
+// mid-batch) matches the incremental path exactly.
+func (t *TimeSeries) ObserveIdleN(n int64) {
+	if n < 0 {
+		panic("stats: ObserveIdleN with negative count")
+	}
+	for n > 0 {
+		room := t.interval - t.seen
+		if n < room {
+			t.seen += n
+			return
+		}
+		t.samples = append(t.samples, float64(t.busy)/float64(t.interval))
+		t.busy, t.seen = 0, 0
+		n -= room
+	}
+}
+
 // Interval returns the sampling interval in cycles.
 func (t *TimeSeries) Interval() int64 { return t.interval }
 
@@ -152,6 +172,22 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.buckets[i]++
 	h.total++
+}
+
+// ObserveN records the same value n times, equivalent to n Observe calls.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if n < 0 {
+		panic("stats: Histogram.ObserveN with negative count")
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := int(v / h.max * float64(len(h.buckets)))
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i] += n
+	h.total += n
 }
 
 // Total returns the number of observations.

@@ -1,0 +1,71 @@
+#!/bin/sh
+# Benchmark snapshot: runs the Go benchmarks with allocation reporting
+# plus a serial-vs-parallel sweep wall-clock comparison, and emits the
+# results as BENCH_<n>.json so the perf trajectory across PRs has data
+# points (see EXPERIMENTS.md, "Performance").
+#
+# Environment:
+#   BENCH_OUT    output file            (default BENCH_1.json)
+#   BENCHTIME    go test -benchtime    (default 1x; use e.g. 3x to average)
+#   BENCH_RE     go test -bench regexp (default .)
+#   SWEEP_SCALE  sweep -scale          (default 0.25; 0 skips the sweep)
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${BENCH_OUT:-BENCH_1.json}
+benchtime=${BENCHTIME:-1x}
+benchre=${BENCH_RE:-.}
+sweepscale=${SWEEP_SCALE:-0.25}
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench=$benchre -benchmem -count=1 -benchtime $benchtime ==" >&2
+go test -run '^$' -bench="$benchre" -benchmem -count=1 -benchtime "$benchtime" . | tee "$raw" >&2
+
+sweep_j1=0
+sweep_jn=0
+ncpu=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$sweepscale" != "0" ]; then
+    go build -o /tmp/snackbench.$$ ./cmd/snackbench
+    echo "== fig1+fig2 sweep, -j 1 vs -j $ncpu (scale $sweepscale) ==" >&2
+    t0=$(date +%s.%N)
+    /tmp/snackbench.$$ -exp fig1 -scale "$sweepscale" -j 1 >/dev/null
+    /tmp/snackbench.$$ -exp fig2 -scale "$sweepscale" -j 1 >/dev/null
+    t1=$(date +%s.%N)
+    /tmp/snackbench.$$ -exp fig1 -scale "$sweepscale" -j 0 >/dev/null
+    /tmp/snackbench.$$ -exp fig2 -scale "$sweepscale" -j 0 >/dev/null
+    t2=$(date +%s.%N)
+    rm -f /tmp/snackbench.$$
+    sweep_j1=$(awk "BEGIN{printf \"%.3f\", $t1-$t0}")
+    sweep_jn=$(awk "BEGIN{printf \"%.3f\", $t2-$t1}")
+    echo "sweep wall: -j 1 ${sweep_j1}s, -j $ncpu ${sweep_jn}s" >&2
+fi
+
+# Benchmark lines are "<name> <N> <value> <unit> <value> <unit> ...";
+# fold each into JSON with every metric keyed by its unit.
+awk -v sweep_j1="$sweep_j1" -v sweep_jn="$sweep_jn" -v ncpu="$ncpu" \
+    -v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" '
+/^Benchmark/ {
+    if (nb++) printf ",\n"
+    printf "    \"%s\": {\"iterations\": %s, \"metrics\": {", $1, $2
+    nm = 0
+    for (i = 3; i < NF; i += 2) {
+        if (nm++) printf ", "
+        printf "\"%s\": %s", $(i+1), $i
+    }
+    printf "}}"
+}
+END {
+    printf "\n  },\n"
+    printf "  \"sweep\": {\"experiments\": [\"fig1\", \"fig2\"], \"workers\": %s,\n", ncpu
+    printf "    \"wall_s_j1\": %s, \"wall_s_jN\": %s,\n", sweep_j1, sweep_jn
+    speedup = (sweep_jn > 0) ? sweep_j1 / sweep_jn : 0
+    printf "    \"speedup\": %.2f},\n", speedup
+    printf "  \"goos\": \"%s\", \"goarch\": \"%s\"\n", goos, goarch
+    printf "}\n"
+}
+BEGIN { printf "{\n  \"benchmarks\": {\n" }
+' "$raw" > "$out"
+
+echo "wrote $out" >&2

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Tier-1 gate: formatting, vet, build, full test suite, and a race-
+# detector pass over the concurrent sweep runner. Run from the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "== go test -race ./internal/experiments =="
+go test -race ./internal/experiments
+
+echo "tier-1: OK"
