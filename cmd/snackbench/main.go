@@ -29,13 +29,25 @@ func main() {
 	benchList := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 16)")
 	priority := flag.Bool("priority", true, "priority arbitration for co-run experiments")
 	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
+	printWorkers := flag.Bool("print-workers", false, "print the resolved sweep worker count and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 	experiments.SetWorkers(*jobs)
+	if *printWorkers {
+		fmt.Println(experiments.Workers())
+		return
+	}
 
 	if *exp == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProf, err := experiments.StartProfiling(*cpuprofile, *memprofile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopProf()
 	benches := traffic.All()
 	if *benchList != "" {
 		benches = nil
@@ -146,50 +158,19 @@ func fig10() {
 }
 
 func fig9() {
-	header("Fig 9: SnackNoC Kernel Performance vs CPU Cores (norm. to 1 core)")
 	res, err := experiments.RunFig9(experiments.DefaultKernelDims(), cpu.DefaultCPUConfig())
 	if err != nil {
 		fatalf("fig9: %v", err)
 	}
-	fmt.Printf("%-11s %7s %7s %7s %7s %9s   %s\n",
-		"Kernel", "1 Core", "2 Cores", "4 Cores", "8 Cores", "SnackNoC", "(snack cycles / instrs)")
-	for _, r := range res.Rows {
-		fmt.Printf("%-11s %7.2f %7.2f %7.2f %7.2f %9.2f   (%d / %d)\n",
-			r.Kernel, r.CoreSpeedups[0], r.CoreSpeedups[1], r.CoreSpeedups[2],
-			r.CoreSpeedups[3], r.SnackSpeedup, r.SnackCycles, r.Instructions)
-	}
+	experiments.RenderFig9(os.Stdout, res)
 }
 
 func fig2(scale experiments.Scale) {
-	header("Fig 2: NoC Router Usage over Time (DAPPER)")
 	res, err := experiments.RunFig2(scale)
 	if err != nil {
 		fatalf("fig2: %v", err)
 	}
-	for _, run := range res.Runs {
-		fmt.Printf("\n%s: runtime %d cycles\n", run.Benchmark, run.Runtime)
-		fmt.Printf("  (a) crossbar: median %5.2f%%  peak %5.2f%%\n", run.XbarMedianPct, run.XbarMaxPct)
-		fmt.Printf("  (b) link:     median %5.2f%%  peak %5.2f%%\n", run.LinkMedianPct, run.LinkMaxPct)
-		fmt.Printf("  crossbar usage %% per router over time (rows = R0..R15):\n")
-		printSeries(run.XbarSeries, 12)
-	}
-}
-
-func printSeries(series [][]float64, cols int) {
-	for ri, s := range series {
-		if len(s) == 0 {
-			continue
-		}
-		step := len(s) / cols
-		if step == 0 {
-			step = 1
-		}
-		fmt.Printf("   R%-3d", ri)
-		for i := 0; i < len(s); i += step {
-			fmt.Printf(" %5.1f", s[i]*100)
-		}
-		fmt.Println()
-	}
+	experiments.RenderFig2(os.Stdout, res)
 }
 
 func fig3(scale experiments.Scale) {
@@ -245,7 +226,7 @@ func fig11(scale experiments.Scale, priority bool) {
 	fmt.Printf("co-run median crossbar: %.2f%% (LULESH alone: ~Fig 2a-3)\n", r.XbarMedianPct)
 	fmt.Printf("tokens offloaded:   %d\n", r.Offloaded)
 	fmt.Println("co-run crossbar usage % per router over time:")
-	printSeries(r.XbarSeries, 12)
+	experiments.RenderSeries(os.Stdout, r.XbarSeries, 12)
 }
 
 func fig12(benches []*traffic.Profile, scale experiments.Scale) {

@@ -34,8 +34,15 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "benchmark instruction-budget scale")
 	priority := flag.Bool("priority", true, "priority arbitration (snack runs)")
 	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 	experiments.SetWorkers(*jobs)
+	stopProf, err := experiments.StartProfiling(*cpuprofile, *memprofile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopProf()
 
 	w, h := parseMesh(*mesh)
 	switch {

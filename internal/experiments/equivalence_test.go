@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"snacknoc/internal/cpu"
+)
+
+// These tests pin the simulator's end-to-end determinism: regenerating a
+// figure must reproduce the committed results/ artifact byte for byte.
+// Any scheduler, allocator, or statistics change that alters arbitration
+// order or observation counts — however slightly — fails here before it
+// can silently shift the paper's numbers.
+
+func compareArtifact(t *testing.T, path string, got []byte) {
+	t.Helper()
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		line := 1
+		n := len(got)
+		if len(want) < n {
+			n = len(want)
+		}
+		i := 0
+		for ; i < n && got[i] == want[i]; i++ {
+			if got[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("%s: regenerated output diverges at byte %d (line %d); lengths %d vs %d",
+			path, i, line, len(got), len(want))
+	}
+}
+
+func TestFig2RegenerationByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale fig2 regeneration takes tens of seconds")
+	}
+	res, err := RunFig2(Scale(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderFig2(&buf, res)
+	compareArtifact(t, "../../results/fig2.txt", buf.Bytes())
+}
+
+func TestFig9RegenerationByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig9 regeneration runs every kernel on four core counts")
+	}
+	res, err := RunFig9(DefaultKernelDims(), cpu.DefaultCPUConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderFig9(&buf, res)
+	compareArtifact(t, "../../results/fig9.txt", buf.Bytes())
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// This file renders experiment results in the exact plain-text shape
+// recorded under results/. The renderers live in the library (rather than
+// cmd/snackbench) so the regeneration equivalence tests can compare a
+// fresh run byte-for-byte against the committed artifacts without
+// shelling out to the binary.
+
+// RenderHeader writes the "=== title ===" banner every experiment starts
+// with.
+func RenderHeader(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}
+
+// RenderFig2 writes the Fig 2 router-usage report for res.
+func RenderFig2(w io.Writer, res *Fig2Result) {
+	RenderHeader(w, "Fig 2: NoC Router Usage over Time (DAPPER)")
+	for _, run := range res.Runs {
+		fmt.Fprintf(w, "\n%s: runtime %d cycles\n", run.Benchmark, run.Runtime)
+		fmt.Fprintf(w, "  (a) crossbar: median %5.2f%%  peak %5.2f%%\n", run.XbarMedianPct, run.XbarMaxPct)
+		fmt.Fprintf(w, "  (b) link:     median %5.2f%%  peak %5.2f%%\n", run.LinkMedianPct, run.LinkMaxPct)
+		fmt.Fprintf(w, "  crossbar usage %% per router over time (rows = R0..R15):\n")
+		RenderSeries(w, run.XbarSeries, 12)
+	}
+}
+
+// RenderFig9 writes the Fig 9 kernel-speedup table for res.
+func RenderFig9(w io.Writer, res *Fig9Result) {
+	RenderHeader(w, "Fig 9: SnackNoC Kernel Performance vs CPU Cores (norm. to 1 core)")
+	fmt.Fprintf(w, "%-11s %7s %7s %7s %7s %9s   %s\n",
+		"Kernel", "1 Core", "2 Cores", "4 Cores", "8 Cores", "SnackNoC", "(snack cycles / instrs)")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-11s %7.2f %7.2f %7.2f %7.2f %9.2f   (%d / %d)\n",
+			r.Kernel, r.CoreSpeedups[0], r.CoreSpeedups[1], r.CoreSpeedups[2],
+			r.CoreSpeedups[3], r.SnackSpeedup, r.SnackCycles, r.Instructions)
+	}
+}
+
+// RenderSeries writes per-router sampled usage rows, cols samples per row,
+// the format shared by Fig 2 and Fig 11.
+func RenderSeries(w io.Writer, series [][]float64, cols int) {
+	for ri, s := range series {
+		if len(s) == 0 {
+			continue
+		}
+		step := len(s) / cols
+		if step == 0 {
+			step = 1
+		}
+		fmt.Fprintf(w, "   R%-3d", ri)
+		for i := 0; i < len(s); i += step {
+			fmt.Fprintf(w, " %5.1f", s[i]*100)
+		}
+		fmt.Fprintln(w)
+	}
+}

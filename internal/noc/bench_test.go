@@ -1,0 +1,65 @@
+package noc
+
+import (
+	"testing"
+
+	"snacknoc/internal/sim"
+)
+
+// BenchmarkRouterEvaluate measures the per-cycle cost of a 4x4 DAPPER
+// mesh at three operating points, so router hot-path regressions show up
+// independently of the full figure benchmarks:
+//
+//   - 1-flit: a single packet in flight — the single-flit bypass and
+//     occupancy-gating path, the paper's dominant (§II mostly idle) case.
+//   - half-load: uniform random at roughly half the saturation rate.
+//   - saturated: uniform random past saturation, allocators always busy.
+func BenchmarkRouterEvaluate(b *testing.B) {
+	cases := []struct {
+		name string
+		rate float64 // injected packets per node per cycle
+	}{
+		{"1-flit", 0},
+		{"half-load", 0.15},
+		{"saturated", 0.60},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			eng := sim.NewEngine()
+			cfg := DAPPER(4, 4)
+			net, err := New(eng, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tc.rate > 0 {
+				inj := NewSyntheticInjector(net, UniformRandom(), tc.rate, DataBytes, 0, 42)
+				eng.Register(inj)
+				eng.Run(5000) // steady state before measuring
+			} else {
+				// Keep exactly one single-flit packet circulating: a fresh
+				// packet is injected as soon as the previous one ejects.
+				var inject func(cycle int64)
+				sink := delivered(func(cycle int64) { inject(cycle) })
+				net.AttachClient(15, sink)
+				inject = func(cycle int64) {
+					net.Inject(&Packet{Src: 0, Dst: 15, VNet: 0, SizeBytes: 1}, cycle)
+				}
+				inject(0)
+				eng.Run(100)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				eng.Step()
+			}
+			b.StopTimer()
+			if net.TotalEjected() == 0 {
+				b.Fatal("no traffic flowed")
+			}
+		})
+	}
+}
+
+type delivered func(cycle int64)
+
+func (d delivered) Deliver(p *Packet, cycle int64) { d(cycle) }

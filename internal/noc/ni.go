@@ -48,11 +48,12 @@ type NI struct {
 	vcBusy  [][]bool
 	vcRR    []int
 
-	incoming []injectReq
-	waiting  [][]*Packet // per-vnet FIFO of packets awaiting a VC
-	active   []*txn
-	txRR     int
-	staged   *Flit
+	incoming     []injectReq
+	waiting      [][]*Packet // per-vnet FIFO of packets awaiting a VC
+	waitingCount int         // total packets across all waiting queues
+	active       []*txn
+	txRR         int
+	staged       *Flit
 
 	// free lists for per-packet bookkeeping records
 	txnFree   []*txn
@@ -166,16 +167,9 @@ func (ni *NI) AvgLatency(vnet int) float64 {
 // be non-empty while asleep — the packet's remaining flits are upstream,
 // and their eventual arrival on fromRouter wakes the NI.
 func (ni *NI) Quiescent() bool {
-	if len(ni.incoming) > 0 || len(ni.active) > 0 || ni.staged != nil ||
-		ni.creditIn.pending() > 0 || ni.fromRouter.pending() > 0 {
-		return false
-	}
-	for _, w := range ni.waiting {
-		if len(w) > 0 {
-			return false
-		}
-	}
-	return true
+	return len(ni.incoming) == 0 && len(ni.active) == 0 && ni.staged == nil &&
+		ni.waitingCount == 0 &&
+		ni.creditIn.pending() == 0 && ni.fromRouter.pending() == 0
 }
 
 // CatchUp implements sim.Quiescer. An idle NI records no per-cycle
@@ -200,6 +194,7 @@ func (ni *NI) Evaluate(cycle int64) {
 	for _, req := range ni.incoming {
 		if req.stamp < cycle {
 			ni.waiting[req.pkt.VNet] = append(ni.waiting[req.pkt.VNet], req.pkt)
+			ni.waitingCount++
 			ni.injected.Inc()
 		} else {
 			keep = append(keep, req)
@@ -211,8 +206,9 @@ func (ni *NI) Evaluate(cycle int64) {
 	}
 
 	// VC allocation: the front packet of each vnet queue may claim a free
-	// VC on the router's local input port.
-	for v := range ni.waiting {
+	// VC on the router's local input port. The count check skips the
+	// per-vnet scan entirely when nothing waits.
+	for v := 0; ni.waitingCount > 0 && v < len(ni.waiting); v++ {
 		if len(ni.waiting[v]) == 0 {
 			continue
 		}
@@ -306,6 +302,7 @@ func (ni *NI) popWaiting(v int) *Packet {
 	copy(q, q[1:])
 	q[n] = nil
 	ni.waiting[v] = q[:n]
+	ni.waitingCount--
 	return p
 }
 

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"snacknoc/internal/sim"
 	"snacknoc/internal/stats"
@@ -86,6 +87,7 @@ type outputPort struct {
 	credits [][]int          // [vnet][vc] free downstream slots
 	vcBusy  [][]bool         // [vnet][vc] held by an in-flight packet
 	vcRR    []int            // per-vnet round-robin pointer for output-VC allocation
+	staged  *Flit            // flit leaving on this port, committed in Advance
 
 	util   stats.Utilization
 	series *stats.TimeSeries
@@ -115,7 +117,14 @@ type Router struct {
 	inputs  [numDirections]*inputPort  // nil where no link exists
 	outputs [numDirections]*outputPort // nil where no link exists
 
+	// inList/outList hold the non-nil ports in direction order, so the
+	// per-cycle loops touch only ports that exist instead of testing all
+	// numDirections slots for nil. Built by finalize.
+	inList  []*inputPort
+	outList []*outputPort
+
 	compute ComputeUnit
+	drainer LoopDrainer // compute's drain hook, cached off the hot path
 	loop    *LoopRoute
 	pool    *flitPool // network-wide flit free-list (nil in bare unit tests)
 
@@ -126,16 +135,26 @@ type Router struct {
 	waitVA    []int
 	vaScratch []int
 	saCand    [numDirections][2][]int
-	saPtr     [numDirections]int
-	vaPtr     int
+	// saMask has bit d set iff saCand[d][class] is non-empty, so switch
+	// allocation visits only outputs with candidates.
+	saMask  [2]uint32
+	saPtr   [numDirections]int
+	saRound int // shared RR start under priority arbitration
+	vaPtr   int
 
-	// staged results of the current Evaluate, committed in Advance
-	stagedOut     [numDirections]*Flit
+	// staged results of the current Evaluate, committed in Advance; each
+	// output port holds its own staged flit, stagedCount the total.
+	stagedCount   int
 	stagedCredits []stagedCredit
 
 	// occupancy counts buffered flits across all input VCs; when zero the
 	// allocator stages are skipped entirely.
 	occupancy int
+
+	// configuration hoisted out of cfg for the per-cycle loops
+	snackVNet   int
+	routerLatM1 int64
+	linkLat     int64
 
 	// statistics
 	xbarUtil   stats.Utilization
@@ -143,7 +162,10 @@ type Router struct {
 	xbarMoves  stats.Counter
 	bufHist    *stats.Histogram
 	bufSlots   int
-	consumed   stats.Counter // snack flits consumed by the compute unit
+	// bufBucket maps occupancy (0..bufSlots) straight to its histogram
+	// bucket, replacing a float divide per cycle with a table lookup.
+	bufBucket []int32
+	consumed  stats.Counter // snack flits consumed by the compute unit
 }
 
 type stagedCredit struct {
@@ -220,6 +242,7 @@ func (r *Router) finalize() {
 		if in == nil {
 			continue
 		}
+		r.inList = append(r.inList, in)
 		for v := range in.vcs {
 			for c, ivc := range in.vcs[v] {
 				cl := classComm
@@ -232,7 +255,21 @@ func (r *Router) finalize() {
 			}
 		}
 	}
+	for d := Direction(0); d < numDirections; d++ {
+		if out := r.outputs[d]; out != nil {
+			r.outList = append(r.outList, out)
+		}
+	}
+	r.snackVNet = r.cfg.SnackVNet
+	r.routerLatM1 = int64(r.cfg.RouterLatency - 1)
+	r.linkLat = int64(r.cfg.LinkLatency)
 	r.bufHist = stats.NewHistogram(1.0, 20)
+	r.bufBucket = make([]int32, r.bufSlots+1)
+	if r.bufSlots > 0 {
+		for occ := range r.bufBucket {
+			r.bufBucket[occ] = int32(r.bufHist.BucketIndex(float64(occ) / float64(r.bufSlots)))
+		}
+	}
 }
 
 // EnableSampling attaches a crossbar-usage time series with the given
@@ -280,8 +317,12 @@ func (r *Router) LinkSeries(d Direction) *stats.TimeSeries {
 // ConsumedSnackFlits returns how many snack flits the compute unit consumed.
 func (r *Router) ConsumedSnackFlits() int64 { return r.consumed.Value() }
 
-// attachCompute installs the RCU/CPM hook.
-func (r *Router) attachCompute(cu ComputeUnit) { r.compute = cu }
+// attachCompute installs the RCU/CPM hook, caching its optional drain
+// capability so the allocator does not repeat the type assertion per cycle.
+func (r *Router) attachCompute(cu ComputeUnit) {
+	r.compute = cu
+	r.drainer, _ = cu.(LoopDrainer)
+}
 
 // setHandle installs the router's engine wake handle on every wire it
 // reads (flit inputs and credit returns), so writers rouse it from
@@ -304,18 +345,16 @@ func (r *Router) setHandle(h *sim.Handle) {
 // has nothing staged. Input-wire pushes and credit returns wake it via
 // the wires' handles, so no work can arrive unnoticed.
 func (r *Router) Quiescent() bool {
-	if r.occupancy > 0 || len(r.stagedCredits) > 0 {
+	if r.occupancy > 0 || len(r.stagedCredits) > 0 || r.stagedCount > 0 {
 		return false
 	}
-	for d := Direction(0); d < numDirections; d++ {
-		if in := r.inputs[d]; in != nil && in.in.pending() > 0 {
+	for _, in := range r.inList {
+		if in.in.pending() > 0 {
 			return false
 		}
-		out := r.outputs[d]
-		if out == nil {
-			continue
-		}
-		if out.credit.pending() > 0 || r.stagedOut[d] != nil {
+	}
+	for _, out := range r.outList {
+		if out.credit.pending() > 0 {
 			return false
 		}
 	}
@@ -328,11 +367,7 @@ func (r *Router) Quiescent() bool {
 // zero-occupancy bucket of the buffer histogram. This keeps every Fig 2/3
 // measurement bit-identical with quiescence on or off.
 func (r *Router) CatchUp(idle int64) {
-	for d := Direction(0); d < numDirections; d++ {
-		out := r.outputs[d]
-		if out == nil {
-			continue
-		}
+	for _, out := range r.outList {
 		out.util.ObserveN(0, idle)
 		if out.series != nil {
 			out.series.ObserveIdleN(idle)
@@ -342,7 +377,7 @@ func (r *Router) CatchUp(idle int64) {
 	if r.xbarSeries != nil {
 		r.xbarSeries.ObserveIdleN(idle)
 	}
-	r.bufHist.ObserveN(0, idle)
+	r.bufHist.ObserveBucketN(int(r.bufBucket[0]), idle)
 }
 
 // FreeOutputVCs counts free useful virtual output channels across the
@@ -417,14 +452,17 @@ func (r *Router) Evaluate(cycle int64) {
 	r.ingestArrivals(cycle)
 	moves := 0
 	if r.occupancy > 0 {
-		r.routeCompute(cycle)
-		r.allocateVCs(cycle)
+		if len(r.needRoute) > 0 {
+			r.routeCompute(cycle)
+		}
+		if len(r.waitVA) > 0 {
+			r.allocateVCs(cycle)
+		}
 		moves = r.allocateSwitch(cycle)
 	}
 	// Idle links consume an observation slot every cycle.
-	for d := Direction(0); d < numDirections; d++ {
-		out := r.outputs[d]
-		if out == nil || r.stagedOut[d] != nil {
+	for _, out := range r.outList {
+		if out.staged != nil {
 			continue
 		}
 		out.util.Observe(false)
@@ -437,25 +475,25 @@ func (r *Router) Evaluate(cycle int64) {
 
 // Advance commits staged flits and credits onto their wires.
 func (r *Router) Advance(cycle int64) {
-	for d, f := range r.stagedOut {
-		if f == nil {
-			continue
+	if r.stagedCount > 0 {
+		for _, out := range r.outList {
+			if f := out.staged; f != nil {
+				out.out.push(f, cycle+r.linkLat)
+				out.staged = nil
+			}
 		}
-		out := r.outputs[d]
-		out.out.push(f, cycle+int64(r.cfg.LinkLatency))
-		r.stagedOut[d] = nil
+		r.stagedCount = 0
 	}
-	for _, sc := range r.stagedCredits {
-		r.inputs[sc.port].credit.push(sc.msg, cycle+1)
+	if len(r.stagedCredits) > 0 {
+		for _, sc := range r.stagedCredits {
+			r.inputs[sc.port].credit.push(sc.msg, cycle+1)
+		}
+		r.stagedCredits = r.stagedCredits[:0]
 	}
-	r.stagedCredits = r.stagedCredits[:0]
 }
 
 func (r *Router) ingestCredits(cycle int64) {
-	for _, out := range r.outputs {
-		if out == nil {
-			continue
-		}
+	for _, out := range r.outList {
 		out.credit.drainReady(cycle, func(msg creditMsg) {
 			out.credits[msg.vnet][msg.vc]++
 			if out.credits[msg.vnet][msg.vc] > r.cfg.VNets[msg.vnet].BufDepth {
@@ -467,12 +505,9 @@ func (r *Router) ingestCredits(cycle int64) {
 }
 
 func (r *Router) ingestArrivals(cycle int64) {
-	for _, in := range r.inputs {
-		if in == nil {
-			continue
-		}
+	for _, in := range r.inList {
 		in.in.drainReady(cycle, func(f *Flit) {
-			if f.VNet == r.cfg.SnackVNet && f.Dst == r.id && r.compute != nil {
+			if f.VNet == r.snackVNet && f.Dst == r.id && r.compute != nil {
 				if r.compute.OnArrival(f, cycle) {
 					// Consumed before buffering: the reserved slot is
 					// returned upstream immediately.
@@ -487,7 +522,7 @@ func (r *Router) ingestArrivals(cycle int64) {
 					f.Dst = r.loop.Next(r.id)
 				}
 			}
-			f.eligibleAt = cycle + int64(r.cfg.RouterLatency-1)
+			f.eligibleAt = cycle + r.routerLatM1
 			ivc := in.vcs[f.VNet][f.VC]
 			if len(ivc.q) >= r.cfg.VNets[f.VNet].BufDepth {
 				panic(fmt.Sprintf("%s: input VC overflow %s vnet %d vc %d (%s)",
@@ -524,66 +559,74 @@ func (r *Router) routeCompute(cycle int64) {
 }
 
 func (r *Router) allocateVCs(cycle int64) {
-	if len(r.waitVA) == 0 {
+	n := len(r.waitVA)
+	r.vaPtr++
+	if n == 1 {
+		// Single-flit bypass: with one waiter the RR rotation is a no-op,
+		// so skip the snapshot copy and keep-list rebuild entirely.
+		if r.tryAllocVC(r.waitVA[0], cycle) {
+			r.waitVA = r.waitVA[:0]
+		}
 		return
 	}
 	// Scan a snapshot: the keep-list rebuild below writes into waitVA
 	// while the rotated scan still reads from it.
 	r.vaScratch = append(r.vaScratch[:0], r.waitVA...)
 	keep := r.waitVA[:0]
-	n := len(r.vaScratch)
-	drainer, _ := r.compute.(LoopDrainer)
-	r.vaPtr++
 	for i := 0; i < n; i++ {
 		idx := r.vaScratch[(r.vaPtr+i)%n]
-		ref := &r.refs[idx]
-		ivc := ref.ivc
-		if drainer != nil && ref.vnet == r.cfg.SnackVNet && ivc.q[0].Loop &&
-			drainer.DrainLoopFlit(ivc.q[0], cycle) {
-			// Absorbed into the CPM's overflow buffer: free the slot.
-			f := ivc.popFront()
-			r.occupancy--
-			r.consumed.Inc()
-			r.stagedCredits = append(r.stagedCredits,
-				stagedCredit{port: ref.port, msg: creditMsg{vnet: ref.vnet, vc: ref.vc}})
-			if !f.IsTail() {
-				panic(fmt.Sprintf("%s: drained a multi-flit loop packet", r.Name()))
-			}
-			r.pool.put(f)
-			if len(ivc.q) > 0 {
-				ivc.state = vcRoute
-				r.needRoute = append(r.needRoute, idx)
-			} else {
-				ivc.state = vcIdle
-			}
-			continue
-		}
-		if ivc.q[0].eligibleAt > cycle {
-			keep = append(keep, idx)
-			continue
-		}
-		out := r.outputs[ivc.outPort]
-		vn := ref.vnet
-		nvc := len(out.vcBusy[vn])
-		granted := false
-		for j := 0; j < nvc; j++ {
-			c := (out.vcRR[vn] + j) % nvc
-			if !out.vcBusy[vn][c] {
-				out.vcBusy[vn][c] = true
-				out.vcRR[vn] = c + 1
-				ivc.outVC = c
-				ivc.state = vcActive
-				r.saCand[ivc.outPort][ref.class] = append(r.saCand[ivc.outPort][ref.class], idx)
-				granted = true
-				break
-			}
-		}
-		if !granted {
+		if !r.tryAllocVC(idx, cycle) {
 			keep = append(keep, idx)
 		}
 	}
 	// Preserve un-granted requests; order changes only by the RR offset.
 	r.waitVA = keep
+}
+
+// tryAllocVC handles one VA work-list entry: drain it into the CPM, grant
+// it an output VC, or leave it waiting. It reports whether the entry left
+// the wait list (drained or granted).
+func (r *Router) tryAllocVC(idx int, cycle int64) bool {
+	ref := &r.refs[idx]
+	ivc := ref.ivc
+	if r.drainer != nil && ref.vnet == r.snackVNet && ivc.q[0].Loop &&
+		r.drainer.DrainLoopFlit(ivc.q[0], cycle) {
+		// Absorbed into the CPM's overflow buffer: free the slot.
+		f := ivc.popFront()
+		r.occupancy--
+		r.consumed.Inc()
+		r.stagedCredits = append(r.stagedCredits,
+			stagedCredit{port: ref.port, msg: creditMsg{vnet: ref.vnet, vc: ref.vc}})
+		if !f.IsTail() {
+			panic(fmt.Sprintf("%s: drained a multi-flit loop packet", r.Name()))
+		}
+		r.pool.put(f)
+		if len(ivc.q) > 0 {
+			ivc.state = vcRoute
+			r.needRoute = append(r.needRoute, idx)
+		} else {
+			ivc.state = vcIdle
+		}
+		return true
+	}
+	if ivc.q[0].eligibleAt > cycle {
+		return false
+	}
+	out := r.outputs[ivc.outPort]
+	vn := ref.vnet
+	nvc := len(out.vcBusy[vn])
+	for j := 0; j < nvc; j++ {
+		c := (out.vcRR[vn] + j) % nvc
+		if !out.vcBusy[vn][c] {
+			out.vcBusy[vn][c] = true
+			out.vcRR[vn] = c + 1
+			ivc.outVC = c
+			ivc.state = vcActive
+			r.addSACand(ivc.outPort, ref.class, idx)
+			return true
+		}
+	}
+	return false
 }
 
 // allocateSwitch performs switch allocation and crossbar traversal,
@@ -596,32 +639,33 @@ func (r *Router) allocateSwitch(cycle int64) int {
 	moves := 0
 	var grantedInputs [numDirections]bool
 	if r.cfg.PriorityArb {
-		for d := Direction(0); d < numDirections; d++ {
-			if r.outputs[d] == nil {
-				continue
-			}
-			r.saPtr[d]++
-			if win := r.scanCand(r.saCand[d][classComm], d, cycle, &grantedInputs); win >= 0 {
+		// Under priority arbitration every existing output advances its RR
+		// pointer in lockstep each allocation round, so one shared counter
+		// replaces the per-port pointers and ports without candidates cost
+		// nothing: the mask walk visits only outputs with work. Bit order
+		// is ascending, matching the old direction loop.
+		r.saRound++
+		for m := r.saMask[classComm]; m != 0; m &= m - 1 {
+			d := Direction(bits.TrailingZeros32(m))
+			if win := r.scanCand(r.saCand[d][classComm], r.saRound, d, cycle, &grantedInputs); win >= 0 {
 				r.traverse(d, win, &grantedInputs)
 				moves++
 			}
 		}
-		for d := Direction(0); d < numDirections; d++ {
-			if r.outputs[d] == nil || r.stagedOut[d] != nil {
+		for m := r.saMask[classSnack]; m != 0; m &= m - 1 {
+			d := Direction(bits.TrailingZeros32(m))
+			if r.outputs[d].staged != nil {
 				continue
 			}
-			if win := r.scanCand(r.saCand[d][classSnack], d, cycle, &grantedInputs); win >= 0 {
+			if win := r.scanCand(r.saCand[d][classSnack], r.saRound, d, cycle, &grantedInputs); win >= 0 {
 				r.traverse(d, win, &grantedInputs)
 				moves++
 			}
 		}
 		return moves
 	}
-	for d := Direction(0); d < numDirections; d++ {
-		out := r.outputs[d]
-		if out == nil {
-			continue
-		}
+	for m := r.saMask[classComm] | r.saMask[classSnack]; m != 0; m &= m - 1 {
+		d := Direction(bits.TrailingZeros32(m))
 		win := r.pickSwitchWinner(d, cycle, &grantedInputs)
 		if win < 0 {
 			continue
@@ -642,7 +686,8 @@ func (r *Router) traverse(d Direction, win int, granted *[numDirections]bool) {
 	r.occupancy--
 	f.VC = ivc.outVC
 	out.credits[ref.vnet][ivc.outVC]--
-	r.stagedOut[d] = f
+	out.staged = f
+	r.stagedCount++
 	r.stagedCredits = append(r.stagedCredits,
 		stagedCredit{port: ref.port, msg: creditMsg{vnet: ref.vnet, vc: ref.vc}})
 	granted[ref.port] = true
@@ -664,23 +709,16 @@ func (r *Router) traverse(d Direction, win int, granted *[numDirections]bool) {
 }
 
 // pickSwitchWinner selects the input VC (by ref index) that wins output
-// port d this cycle, honouring round-robin fairness, credit availability,
-// the one-flit-per-input-port crossbar constraint, and — when priority
-// arbitration is enabled — the precedence of communication flits over
-// snack flits (§III-D3). It returns -1 when no candidate is ready.
+// port d this cycle under plain (non-priority) arbitration, honouring
+// round-robin fairness, credit availability, and the one-flit-per-input-
+// port crossbar constraint. It returns -1 when no candidate is ready.
 func (r *Router) pickSwitchWinner(d Direction, cycle int64, granted *[numDirections]bool) int {
 	comm, snack := r.saCand[d][classComm], r.saCand[d][classSnack]
 	if len(comm) == 0 && len(snack) == 0 {
 		return -1
 	}
 	r.saPtr[d]++
-	if r.cfg.PriorityArb {
-		if w := r.scanCand(comm, d, cycle, granted); w >= 0 {
-			return w
-		}
-		return r.scanCand(snack, d, cycle, granted)
-	}
-	// Without priority arbitration both classes share one RR scan.
+	// Both classes share one RR scan.
 	n := len(comm) + len(snack)
 	start := r.saPtr[d]
 	for i := 0; i < n; i++ {
@@ -698,12 +736,11 @@ func (r *Router) pickSwitchWinner(d Direction, cycle int64, granted *[numDirecti
 	return -1
 }
 
-func (r *Router) scanCand(cand []int, d Direction, cycle int64, granted *[numDirections]bool) int {
+func (r *Router) scanCand(cand []int, start int, d Direction, cycle int64, granted *[numDirections]bool) int {
 	n := len(cand)
 	if n == 0 {
 		return -1
 	}
-	start := r.saPtr[d]
 	for i := 0; i < n; i++ {
 		idx := cand[(start+i)%n]
 		if r.saOK(idx, d, cycle, granted) {
@@ -730,11 +767,22 @@ func (r *Router) saOK(idx int, d Direction, cycle int64, granted *[numDirections
 	return r.outputs[d].credits[ref.vnet][ivc.outVC] > 0
 }
 
+// addSACand registers a VC-allocated input VC as a switch candidate for
+// output d, keeping the non-empty mask in sync.
+func (r *Router) addSACand(d Direction, class, idx int) {
+	r.saCand[d][class] = append(r.saCand[d][class], idx)
+	r.saMask[class] |= 1 << uint(d)
+}
+
 func (r *Router) removeSACand(d Direction, class, idx int) {
 	cand := r.saCand[d][class]
 	for i, v := range cand {
 		if v == idx {
-			r.saCand[d][class] = append(cand[:i], cand[i+1:]...)
+			cand = append(cand[:i], cand[i+1:]...)
+			r.saCand[d][class] = cand
+			if len(cand) == 0 {
+				r.saMask[class] &^= 1 << uint(d)
+			}
 			return
 		}
 	}
@@ -748,5 +796,5 @@ func (r *Router) observe(cycle int64, moves int) {
 		r.xbarSeries.Observe(busy)
 	}
 	r.xbarMoves.Add(int64(moves))
-	r.bufHist.Observe(float64(r.occupancy) / float64(r.bufSlots))
+	r.bufHist.ObserveBucket(int(r.bufBucket[r.occupancy]))
 }

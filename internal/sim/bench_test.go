@@ -1,0 +1,63 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedule measures the event-queue hot path in isolation:
+// self-rescheduling events across near (in-wheel), far (overflow-heap),
+// and mixed horizons. The mixed case is the realistic NoC profile — wire
+// arrivals a few cycles out, sleeper wake-ups hundreds to thousands of
+// cycles out.
+func BenchmarkEngineSchedule(b *testing.B) {
+	cases := []struct {
+		name     string
+		horizons []int64
+	}{
+		{"near", []int64{1, 2, 3, 5, 8}},
+		{"mixed", []int64{1, 3, 700, 9000, 2}},
+		{"far", []int64{wheelSize, 3 * wheelSize, 9 * wheelSize}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			e := NewEngine()
+			// 64 live event chains, each perpetually rescheduling itself at
+			// its own horizon, round-robined over the case's horizon set.
+			const chains = 64
+			var fns [chains]func()
+			for i := 0; i < chains; i++ {
+				h := tc.horizons[i%len(tc.horizons)]
+				i := i
+				fns[i] = func() { e.Schedule(e.cycle+h, fns[i]) }
+				e.Schedule(1+h, fns[i])
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				e.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkEngineStepIdle measures the per-cycle floor of an engine whose
+// components are all asleep: the cost every simulated cycle pays even when
+// nothing happens.
+func BenchmarkEngineStepIdle(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < 64; i++ {
+		e.Register(&benchSleeper{})
+	}
+	e.Run(2) // let every component go quiescent
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		e.Step()
+	}
+}
+
+type benchSleeper struct{ idle int64 }
+
+func (s *benchSleeper) Name() string      { return "bench-sleeper" }
+func (s *benchSleeper) Evaluate(int64)    {}
+func (s *benchSleeper) Advance(int64)     {}
+func (s *benchSleeper) Quiescent() bool   { return true }
+func (s *benchSleeper) CatchUp(idl int64) { s.idle += idl }

@@ -1,0 +1,125 @@
+package sim
+
+import "container/heap"
+
+// The event queue is a calendar queue: a power-of-two ring of slots, one
+// per cycle within the horizon, plus a min-heap for events scheduled
+// further out. NoC event densities make this the right trade — almost
+// every event (wire arrivals, wake-ups, DRAM returns) lands within a few
+// hundred cycles of now, so schedule and pop are O(1) appends and slice
+// takes instead of O(log n) heap reshuffles. Far-future events (deep
+// sleeper wake-ups, end-of-warmup callbacks) go to the overflow heap and
+// migrate into the ring once they come within the horizon.
+//
+// Slot aliasing cannot deliver an event early: an in-ring event satisfies
+// at-now < wheelSize when scheduled, and a slot is only drained at cycles
+// congruent to its index mod wheelSize, so every event in the drained slot
+// is due exactly now.
+
+const (
+	wheelBits = 10
+	wheelSize = 1 << wheelBits // horizon in cycles
+	wheelMask = wheelSize - 1
+)
+
+// event is a scheduled callback or component wake-up (exactly one of fn
+// and wake is set). seq breaks same-cycle ties: events fire in schedule
+// order, matching the guarantee the old binary heap provided.
+type event struct {
+	cycle int64
+	seq   int64
+	fn    func()
+	wake  *compState
+}
+
+// eventQueue is the overflow min-heap, ordered by (cycle, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].cycle != q[j].cycle {
+		return q[i].cycle < q[j].cycle
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+type timeWheel struct {
+	slots    [][]*event
+	overflow eventQueue
+	// pending counts events everywhere (ring + overflow); the engine skips
+	// the whole event phase when it is zero.
+	pending int
+	// spare recycles drained slot backing arrays so steady-state
+	// scheduling allocates nothing.
+	spare [][]*event
+}
+
+func (w *timeWheel) init() {
+	w.slots = make([][]*event, wheelSize)
+}
+
+// schedule files ev, due at ev.cycle, given the current cycle now.
+// ev.cycle must be strictly after now (the engine enforces this).
+func (w *timeWheel) schedule(now int64, ev *event) {
+	w.pending++
+	if ev.cycle-now < wheelSize {
+		w.place(ev)
+		return
+	}
+	heap.Push(&w.overflow, ev)
+}
+
+// place appends ev to its ring slot, reusing drained backing arrays.
+func (w *timeWheel) place(ev *event) {
+	idx := int(ev.cycle) & wheelMask
+	s := w.slots[idx]
+	if s == nil {
+		if n := len(w.spare); n > 0 {
+			s = w.spare[n-1]
+			w.spare = w.spare[:n-1]
+		}
+	}
+	w.slots[idx] = append(s, ev)
+}
+
+// collect migrates newly in-horizon overflow events into the ring, then
+// detaches and returns the events due at cycle now, ordered by seq. The
+// caller must hand the slice back via release once the events have run.
+func (w *timeWheel) collect(now int64) []*event {
+	for len(w.overflow) > 0 && w.overflow[0].cycle-now < wheelSize {
+		w.place(heap.Pop(&w.overflow).(*event))
+	}
+	idx := int(now) & wheelMask
+	s := w.slots[idx]
+	if len(s) == 0 {
+		return nil
+	}
+	w.slots[idx] = nil
+	w.pending -= len(s)
+	// Direct schedules append in seq order, but overflow migration can
+	// interleave older seqs behind them; insertion sort is O(n) for the
+	// common already-sorted case and n is tiny (events due one cycle).
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1].seq > s[j].seq; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+	return s
+}
+
+// release returns a drained slot's backing array for reuse.
+func (w *timeWheel) release(s []*event) {
+	if cap(s) > 0 {
+		w.spare = append(w.spare, s[:0])
+	}
+}

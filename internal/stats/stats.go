@@ -161,8 +161,11 @@ func NewHistogram(max float64, n int) *Histogram {
 	return &Histogram{max: max, buckets: make([]int64, n)}
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
+// BucketIndex returns the bucket Observe(v) would increment. Hot loops
+// that observe a small set of discrete values can precompute indices once
+// and use ObserveBucket, skipping the float divide per observation; the
+// arithmetic here is exactly Observe's, so the mapping is identical.
+func (h *Histogram) BucketIndex(v float64) int {
 	if v < 0 {
 		v = 0
 	}
@@ -170,24 +173,34 @@ func (h *Histogram) Observe(v float64) {
 	if i >= len(h.buckets) {
 		i = len(h.buckets) - 1
 	}
+	return i
+}
+
+// ObserveBucket records one observation directly into bucket i, which must
+// come from BucketIndex.
+func (h *Histogram) ObserveBucket(i int) {
 	h.buckets[i]++
+	h.total++
+}
+
+// ObserveBucketN records n observations into bucket i (from BucketIndex).
+func (h *Histogram) ObserveBucketN(i int, n int64) {
+	if n < 0 {
+		panic("stats: Histogram.ObserveBucketN with negative count")
+	}
+	h.buckets[i] += n
+	h.total += n
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.buckets[h.BucketIndex(v)]++
 	h.total++
 }
 
 // ObserveN records the same value n times, equivalent to n Observe calls.
 func (h *Histogram) ObserveN(v float64, n int64) {
-	if n < 0 {
-		panic("stats: Histogram.ObserveN with negative count")
-	}
-	if v < 0 {
-		v = 0
-	}
-	i := int(v / h.max * float64(len(h.buckets)))
-	if i >= len(h.buckets) {
-		i = len(h.buckets) - 1
-	}
-	h.buckets[i] += n
-	h.total += n
+	h.ObserveBucketN(h.BucketIndex(v), n)
 }
 
 // Total returns the number of observations.

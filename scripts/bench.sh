@@ -5,47 +5,91 @@
 # points (see EXPERIMENTS.md, "Performance").
 #
 # Environment:
-#   BENCH_OUT    output file            (default BENCH_1.json)
-#   BENCHTIME    go test -benchtime    (default 1x; use e.g. 3x to average)
-#   BENCH_RE     go test -bench regexp (default .)
-#   SWEEP_SCALE  sweep -scale          (default 0.25; 0 skips the sweep)
+#   BENCH_OUT       output file            (default BENCH_3.json)
+#   BENCHTIME       go test -benchtime    (default 1x; use e.g. 3x to average)
+#   BENCH_RE        go test -bench regexp (default .)
+#   SWEEP_SCALE     sweep -scale          (default 0.25; 0 skips the sweep)
+#   BENCH_BASELINE  earlier BENCH_<n>.json to diff ns/op against (optional)
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_1.json}
+out=${BENCH_OUT:-BENCH_3.json}
 benchtime=${BENCHTIME:-1x}
 benchre=${BENCH_RE:-.}
 sweepscale=${SWEEP_SCALE:-0.25}
+baseline=${BENCH_BASELINE:-}
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 echo "== go test -bench=$benchre -benchmem -count=1 -benchtime $benchtime ==" >&2
-go test -run '^$' -bench="$benchre" -benchmem -count=1 -benchtime "$benchtime" . | tee "$raw" >&2
+go test -run '^$' -bench="$benchre" -benchmem -count=1 -benchtime "$benchtime" \
+    . ./internal/sim ./internal/noc | tee "$raw" >&2
 
+# The sweep compares one serial leg (-j 1) against one all-CPUs leg (-j 0).
+# The jN leg must actually be parallel to mean anything: BENCH_1.json once
+# recorded a "1.03x speedup" that was really 1 worker vs 1 worker, so the
+# resolved worker count is interrogated from the binary, recorded in the
+# JSON, and a single-CPU host skips the comparison loudly instead of
+# logging a meaningless ratio.
 sweep_j1=0
 sweep_jn=0
+sweep_ran=false
 ncpu=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+workers=1
 if [ "$sweepscale" != "0" ]; then
     go build -o /tmp/snackbench.$$ ./cmd/snackbench
-    echo "== fig1+fig2 sweep, -j 1 vs -j $ncpu (scale $sweepscale) ==" >&2
-    t0=$(date +%s.%N)
-    /tmp/snackbench.$$ -exp fig1 -scale "$sweepscale" -j 1 >/dev/null
-    /tmp/snackbench.$$ -exp fig2 -scale "$sweepscale" -j 1 >/dev/null
-    t1=$(date +%s.%N)
-    /tmp/snackbench.$$ -exp fig1 -scale "$sweepscale" -j 0 >/dev/null
-    /tmp/snackbench.$$ -exp fig2 -scale "$sweepscale" -j 0 >/dev/null
-    t2=$(date +%s.%N)
-    rm -f /tmp/snackbench.$$
-    sweep_j1=$(awk "BEGIN{printf \"%.3f\", $t1-$t0}")
-    sweep_jn=$(awk "BEGIN{printf \"%.3f\", $t2-$t1}")
-    echo "sweep wall: -j 1 ${sweep_j1}s, -j $ncpu ${sweep_jn}s" >&2
+    workers=$(/tmp/snackbench.$$ -j 0 -print-workers)
+    if [ "$ncpu" -gt 1 ] && [ "$workers" -le 1 ]; then
+        echo "ERROR: host has $ncpu CPUs but the -j 0 leg would run with $workers worker(s);" >&2
+        echo "       the j1-vs-jN comparison would be meaningless. Aborting." >&2
+        rm -f /tmp/snackbench.$$
+        exit 1
+    fi
+    if [ "$workers" -le 1 ]; then
+        echo "WARNING: single-CPU host ($ncpu CPU, $workers worker) — skipping the" >&2
+        echo "         j1-vs-jN sweep comparison; recording it as skipped." >&2
+        rm -f /tmp/snackbench.$$
+    else
+        echo "== fig1+fig2 sweep, -j 1 vs -j 0 ($workers workers, $ncpu CPUs, scale $sweepscale) ==" >&2
+        t0=$(date +%s.%N)
+        /tmp/snackbench.$$ -exp fig1 -scale "$sweepscale" -j 1 >/dev/null
+        /tmp/snackbench.$$ -exp fig2 -scale "$sweepscale" -j 1 >/dev/null
+        t1=$(date +%s.%N)
+        /tmp/snackbench.$$ -exp fig1 -scale "$sweepscale" -j 0 >/dev/null
+        /tmp/snackbench.$$ -exp fig2 -scale "$sweepscale" -j 0 >/dev/null
+        t2=$(date +%s.%N)
+        rm -f /tmp/snackbench.$$
+        sweep_j1=$(awk "BEGIN{printf \"%.3f\", $t1-$t0}")
+        sweep_jn=$(awk "BEGIN{printf \"%.3f\", $t2-$t1}")
+        sweep_ran=true
+        echo "sweep wall: -j 1 ${sweep_j1}s, -j 0 (${workers} workers) ${sweep_jn}s" >&2
+    fi
 fi
 
 # Benchmark lines are "<name> <N> <value> <unit> <value> <unit> ...";
-# fold each into JSON with every metric keyed by its unit.
+# fold each into JSON with every metric keyed by its unit. When a baseline
+# file is given, append a before/after ns/op comparison per benchmark.
 awk -v sweep_j1="$sweep_j1" -v sweep_jn="$sweep_jn" -v ncpu="$ncpu" \
+    -v workers="$workers" -v sweep_ran="$sweep_ran" -v baseline="$baseline" \
     -v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" '
+BEGIN {
+    printf "{\n  \"benchmarks\": {\n"
+    # Baseline ns/op values, keyed by benchmark name, parsed from our own
+    # output format: one  "Name": {... "ns/op": V ...}  object per line.
+    if (baseline != "") {
+        while ((getline bl < baseline) > 0) {
+            if (match(bl, /"Benchmark[^"]+"/)) {
+                bname = substr(bl, RSTART+1, RLENGTH-2)
+                if (match(bl, /"ns\/op": [0-9.e+]+/)) {
+                    v = substr(bl, RSTART+9, RLENGTH-9)
+                    base[bname] = v + 0
+                }
+            }
+        }
+        close(baseline)
+    }
+}
 /^Benchmark/ {
     if (nb++) printf ",\n"
     printf "    \"%s\": {\"iterations\": %s, \"metrics\": {", $1, $2
@@ -53,19 +97,39 @@ awk -v sweep_j1="$sweep_j1" -v sweep_jn="$sweep_jn" -v ncpu="$ncpu" \
     for (i = 3; i < NF; i += 2) {
         if (nm++) printf ", "
         printf "\"%s\": %s", $(i+1), $i
+        if ($(i+1) == "ns/op") nsop[$1] = $i + 0
     }
     printf "}}"
+    order[no++] = $1
 }
 END {
     printf "\n  },\n"
-    printf "  \"sweep\": {\"experiments\": [\"fig1\", \"fig2\"], \"workers\": %s,\n", ncpu
-    printf "    \"wall_s_j1\": %s, \"wall_s_jN\": %s,\n", sweep_j1, sweep_jn
-    speedup = (sweep_jn > 0) ? sweep_j1 / sweep_jn : 0
-    printf "    \"speedup\": %.2f},\n", speedup
+    if (sweep_ran == "true") {
+        printf "  \"sweep\": {\"experiments\": [\"fig1\", \"fig2\"],\n"
+        printf "    \"workers\": %s, \"cpus\": %s,\n", workers, ncpu
+        printf "    \"wall_s_j1\": %s, \"wall_s_jN\": %s,\n", sweep_j1, sweep_jn
+        speedup = (sweep_jn > 0) ? sweep_j1 / sweep_jn : 0
+        printf "    \"speedup\": %.2f},\n", speedup
+    } else {
+        printf "  \"sweep\": {\"skipped\": true, \"reason\": \"single-CPU host\",\n"
+        printf "    \"workers\": %s, \"cpus\": %s},\n", workers, ncpu
+    }
+    if (baseline != "") {
+        printf "  \"baseline\": \"%s\",\n  \"vs_baseline\": {\n", baseline
+        nc = 0
+        for (k = 0; k < no; k++) {
+            b = order[k]
+            if (!(b in base) || !(b in nsop)) continue
+            if (nc++) printf ",\n"
+            impr = (base[b] > 0) ? 100 * (base[b] - nsop[b]) / base[b] : 0
+            printf "    \"%s\": {\"before_ns_op\": %s, \"after_ns_op\": %s, \"improvement_pct\": %.1f}", \
+                b, base[b], nsop[b], impr
+        }
+        printf "\n  },\n"
+    }
     printf "  \"goos\": \"%s\", \"goarch\": \"%s\"\n", goos, goarch
     printf "}\n"
 }
-BEGIN { printf "{\n  \"benchmarks\": {\n" }
 ' "$raw" > "$out"
 
 echo "wrote $out" >&2

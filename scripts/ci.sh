@@ -24,4 +24,11 @@ go test ./...
 echo "== go test -race ./internal/experiments =="
 go test -race ./internal/experiments
 
+# Benchmark smoke: one iteration of the scheduler and router micro-
+# benchmarks, so a panic or hang in the hot paths breaks the gate even
+# when no correctness test exercises the perf-only code.
+echo "== benchmark smoke (1 iteration) =="
+go test -run '^$' -bench 'BenchmarkEngineSchedule' -benchtime 1x ./internal/sim
+go test -run '^$' -bench 'BenchmarkRouterEvaluate' -benchtime 1x ./internal/noc
+
 echo "tier-1: OK"
