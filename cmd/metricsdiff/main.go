@@ -1,0 +1,53 @@
+// Command metricsdiff structurally compares two metrics-snapshot files
+// written by snackbench/snacksim -metrics (the stats.WriteSnapshotsJSON
+// document shape). Snapshots are matched by label and metrics by name;
+// any divergence beyond -tol is printed and the exit status is 1, so the
+// tool doubles as a CI gate and a quick A/B report for tuning runs.
+//
+// Usage:
+//
+//	metricsdiff [-tol 1e-9] before.json after.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snacknoc/internal/stats"
+)
+
+func main() {
+	tol := flag.Float64("tol", 0, "absolute tolerance below which values compare equal")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: metricsdiff [-tol T] a.json b.json")
+		os.Exit(2)
+	}
+	a := read(flag.Arg(0))
+	b := read(flag.Arg(1))
+	lines := stats.DiffSnapshots(a, b, *tol)
+	for _, l := range lines {
+		fmt.Println(l.String())
+	}
+	if len(lines) > 0 {
+		fmt.Fprintf(os.Stderr, "metricsdiff: %d difference(s) between %s and %s\n",
+			len(lines), flag.Arg(0), flag.Arg(1))
+		os.Exit(1)
+	}
+	fmt.Printf("metricsdiff: no differences (%d snapshot(s), tol %g)\n", len(a), *tol)
+}
+
+func read(path string) []stats.Snapshot {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricsdiff: %v\n", err)
+		os.Exit(2)
+	}
+	snaps, err := stats.ReadSnapshots(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricsdiff: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return snaps
+}

@@ -7,6 +7,8 @@
 //	snackbench -exp tableI|tableII|tableV|fig1|fig2|fig3|fig9|fig10|fig11|fig12|fig13|corun|all
 //	snackbench -exp fig12 -scale 0.5          # faster, noisier
 //	snackbench -exp fig1  -benchmarks FMM,Radix
+//	snackbench -exp fig2  -trace fig2.json    # flit-lifecycle trace for Perfetto
+//	snackbench -exp fig2  -metrics fig2-metrics.json
 //
 // Output is plain text shaped like the paper's artifacts: one table or
 // one data series per figure panel.
@@ -32,6 +34,9 @@ func main() {
 	printWorkers := flag.Bool("print-workers", false, "print the resolved sweep worker count and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of every simulation to this file")
+	traceLast := flag.Int("trace-last", 0, "with -trace, keep only the newest N events per simulation")
+	metricsPath := flag.String("metrics", "", "write metrics snapshots of every simulation to this file (.csv for CSV)")
 	flag.Parse()
 	experiments.SetWorkers(*jobs)
 	if *printWorkers {
@@ -42,6 +47,15 @@ func main() {
 	if *exp == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *traceLast > 0 && *tracePath == "" {
+		fatalf("-trace-last requires -trace")
+	}
+	if *tracePath != "" {
+		experiments.EnableTracing(*traceLast)
+	}
+	if *metricsPath != "" {
+		experiments.EnableMetrics()
 	}
 	stopProf, err := experiments.StartProfiling(*cpuprofile, *memprofile)
 	if err != nil {
@@ -63,11 +77,11 @@ func main() {
 	run := func(name string) {
 		switch name {
 		case "tableI":
-			tableI()
+			experiments.RenderTableI(os.Stdout, experiments.TableI())
 		case "tableII":
-			tableII()
+			experiments.RenderTableII(os.Stdout, experiments.TableII())
 		case "tableV":
-			tableV()
+			experiments.RenderTableV(os.Stdout, experiments.TableV())
 		case "fig1":
 			fig1(benches, experiments.Scale(*scale))
 		case "fig2":
@@ -77,7 +91,7 @@ func main() {
 		case "fig9":
 			fig9()
 		case "fig10":
-			fig10()
+			experiments.RenderFig10(os.Stdout, experiments.Fig10())
 		case "fig11", "corun":
 			fig11(experiments.Scale(*scale), *priority)
 		case "fig12":
@@ -93,68 +107,24 @@ func main() {
 			"fig2", "fig3", "fig1", "fig11", "fig12", "fig13"} {
 			run(name)
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+	if *tracePath != "" {
+		if err := experiments.WriteTrace(*tracePath); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *metricsPath != "" {
+		if err := experiments.WriteMetrics(*metricsPath); err != nil {
+			fatalf("%v", err)
+		}
+	}
 }
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "snackbench: "+format+"\n", args...)
 	os.Exit(1)
-}
-
-func header(title string) {
-	fmt.Printf("\n=== %s ===\n", title)
-}
-
-func tableI() {
-	header("Table I: Baseline NoC Configurations")
-	fmt.Printf("%-28s %10s %10s %10s\n", "NoC Parameter", "DAPPER", "AxNoC", "BiNoCHS")
-	rows := experiments.TableI()
-	fmt.Printf("%-28s %9d-stage %7d-stage %7d-stage\n", "Router Microarchitecture",
-		rows[0].PipelineDepth, rows[1].PipelineDepth, rows[2].PipelineDepth)
-	fmt.Printf("%-28s %9dB %9dB %9dB\n", "NoC Channel Width",
-		rows[0].ChannelWidthB, rows[1].ChannelWidthB, rows[2].ChannelWidthB)
-	fmt.Printf("%-28s %10d %10d %10d\n", "Num. Virtual Channels",
-		rows[0].VirtualChans, rows[1].VirtualChans, rows[2].VirtualChans)
-	fmt.Printf("%-28s %10d %10d %10d\n", "Num. Buffers per Input VC",
-		rows[0].BufPerVC, rows[1].BufPerVC, rows[2].BufPerVC)
-}
-
-func tableII() {
-	header("Table II: Area and Power Overhead per Functional Unit")
-	res := experiments.TableII()
-	fmt.Println("Central Packet Manager (CPM)")
-	for _, u := range res.CPMUnits {
-		fmt.Printf("  %-40s %7.1fmW %8.4f mm²\n", u.Name, u.PowerW*1000, u.AreaMM)
-	}
-	fmt.Println("Router Control Unit (RCU)")
-	for _, u := range res.RCUUnits {
-		fmt.Printf("  %-40s %7.1fmW %8.4f mm²\n", u.Name, u.PowerW*1000, u.AreaMM)
-	}
-	for _, t := range res.Totals {
-		fmt.Printf("%-42s %8.2f W %8.2f mm²\n", t.Name, t.PowerW, t.AreaMM)
-	}
-}
-
-func tableV() {
-	header("Table V: Area and Power of CPU vs SnackNoC")
-	res := experiments.TableV()
-	fmt.Printf("%-28s %8s %10s\n", "Platform", "Power(W)", "Area(mm²)")
-	fmt.Printf("%-28s %8.0f %10.0f\n", res.CPU.Name, res.CPU.PowerW, res.CPU.AreaMM)
-	fmt.Printf("%-28s %8.2f %10.2f\n", "SnackNoC (16 RCU)", res.Snack.PowerW, res.Snack.AreaMM)
-}
-
-func fig10() {
-	header("Fig 10: Uncore Power and Area with SnackNoC")
-	res := experiments.Fig10()
-	labels := []string{"L2 Cache", "SnackNoC Additions", "L1 Cache", "Baseline NoC"}
-	fmt.Printf("%-22s %9s %9s\n", "Component", "Power(%)", "Area(%)")
-	for i, l := range labels {
-		fmt.Printf("%-22s %8.1f%% %8.1f%%\n", l, res.PowerPct[i], res.AreaPct[i])
-	}
-	t := res.Breakdown.Total()
-	fmt.Printf("%-22s %7.2f W %6.1f mm²\n", "Total uncore", t.PowerW, t.AreaMM)
 }
 
 func fig9() {
@@ -174,44 +144,22 @@ func fig2(scale experiments.Scale) {
 }
 
 func fig3(scale experiments.Scale) {
-	header("Fig 3: NoC Buffer Utilization CDF (Raytrace)")
 	res, err := experiments.RunFig3(scale)
 	if err != nil {
 		fatalf("fig3: %v", err)
 	}
-	fmt.Printf("cycles at zero buffer occupancy: %5.2f%%\n", res.ZeroOccupancyPct)
-	fmt.Printf("99th percentile occupancy:       %5.2f%% of capacity\n", res.P99OccupancyPct)
-	fmt.Println("CDF (occupancy% -> cumulative probability):")
-	for _, pt := range res.Run.BufferCDF {
-		fmt.Printf("  <=%5.1f%% : %7.5f\n", pt.Value*100, pt.Prob)
-	}
+	experiments.RenderFig3(os.Stdout, res)
 }
 
 func fig1(benches []*traffic.Profile, scale experiments.Scale) {
-	header("Fig 1: Normalized Execution Slowdown (%) wrt BiNoCHS")
 	res, err := experiments.RunFig1(benches, scale)
 	if err != nil {
 		fatalf("fig1: %v", err)
 	}
-	fmt.Printf("%-16s", "Benchmark")
-	for _, v := range res.Variants {
-		fmt.Printf(" %22s", v)
-	}
-	fmt.Println()
-	for _, row := range res.Rows {
-		fmt.Printf("%-16s", row.Benchmark)
-		for _, s := range row.SlowdownPct {
-			fmt.Printf(" %21.2f%%", s)
-		}
-		fmt.Println()
-	}
-	for _, v := range res.Variants {
-		fmt.Printf("%-26s mean %6.2f%%  max %6.2f%%\n", v, res.MeanSlowdown(v), res.MaxSlowdown(v))
-	}
+	experiments.RenderFig1(os.Stdout, res)
 }
 
 func fig11(scale experiments.Scale, priority bool) {
-	header("Fig 11: LULESH Crossbar Usage with SPMV Kernel Co-Running")
 	r, err := experiments.RunCoRun(experiments.CoRunSpec{
 		Bench: traffic.LULESH(), Kernel: cpu.KernelSPMV,
 		Dims: experiments.DefaultKernelDims(), Width: 4, Height: 4,
@@ -220,69 +168,22 @@ func fig11(scale experiments.Scale, priority bool) {
 	if err != nil {
 		fatalf("fig11: %v", err)
 	}
-	fmt.Printf("benchmark impact:   %+.3f%%\n", r.ImpactPct())
-	fmt.Printf("kernel runs:        %d (avg %.0f cycles, zero-load %d, slowdown %+.2f%%)\n",
-		r.KernelRuns, r.KernelCyclesAvg, r.ZeroLoadCycles, r.KernelSlowdownPct())
-	fmt.Printf("co-run median crossbar: %.2f%% (LULESH alone: ~Fig 2a-3)\n", r.XbarMedianPct)
-	fmt.Printf("tokens offloaded:   %d\n", r.Offloaded)
-	fmt.Println("co-run crossbar usage % per router over time:")
-	experiments.RenderSeries(os.Stdout, r.XbarSeries, 12)
+	experiments.RenderFig11(os.Stdout, r)
 }
 
 func fig12(benches []*traffic.Profile, scale experiments.Scale) {
-	header("Fig 12: Impact of SnackNoC Kernels on CMP Runtime (%)")
 	kernels := cpu.Kernels()
 	res, err := experiments.RunFig12(benches, kernels, experiments.DefaultKernelDims(), scale, []bool{false, true})
 	if err != nil {
 		fatalf("fig12: %v", err)
 	}
-	fmt.Printf("%-16s", "Benchmark")
-	for _, k := range kernels {
-		fmt.Printf(" %9s %9s", k, k+"+P")
-	}
-	fmt.Println()
-	for _, row := range res.Rows {
-		fmt.Printf("%-16s", row.Benchmark)
-		for _, k := range kernels {
-			for _, pri := range []bool{false, true} {
-				for _, c := range row.Cells {
-					if c.Kernel == k && c.Priority == pri {
-						fmt.Printf(" %+8.3f%%", c.ImpactPct)
-					}
-				}
-			}
-		}
-		fmt.Println()
-	}
-	fmt.Printf("\nworst impact without priority: %.3f%%\n", res.MaxImpact(false))
-	fmt.Printf("worst impact with priority:    %.3f%%\n", res.MaxImpact(true))
-	fmt.Printf("worst kernel slowdown:         %.2f%%\n", res.MaxKernelSlowdown())
+	experiments.RenderFig12(os.Stdout, res, kernels)
 }
 
 func fig13(benches []*traffic.Profile, scale experiments.Scale) {
-	header("Fig 13: SGEMM Impact as Cores Scale (%)")
 	res, err := experiments.RunFig13(benches, experiments.DefaultKernelDims(), scale)
 	if err != nil {
 		fatalf("fig13: %v", err)
 	}
-	sizes := []int{16, 32, 64, 128}
-	fmt.Printf("%-16s", "Benchmark")
-	for _, n := range sizes {
-		fmt.Printf(" %7d", n)
-	}
-	fmt.Println(" (cores & RCUs)")
-	for _, b := range benches {
-		fmt.Printf("%-16s", b.Name)
-		for _, n := range sizes {
-			for _, p := range res.Points {
-				if p.Benchmark == b.Name && p.Nodes == n {
-					fmt.Printf(" %+6.3f%%", p.ImpactPct)
-				}
-			}
-		}
-		fmt.Println()
-	}
-	for _, n := range sizes {
-		fmt.Printf("max impact at %3d nodes: %.3f%%\n", n, res.MaxImpact(n))
-	}
+	experiments.RenderFig13(os.Stdout, res, benches)
 }

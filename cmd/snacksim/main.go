@@ -9,6 +9,7 @@
 //	snacksim -kernel SGEMM -mesh 4x4
 //	snacksim -bench Radix -kernel SPMV          # co-run both
 //	snacksim -synthetic uniform -noc BiNoCHS    # load-latency curve
+//	snacksim -kernel SGEMM -trace sgemm.json -metrics sgemm-metrics.json
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"snacknoc/internal/experiments"
 	"snacknoc/internal/noc"
 	"snacknoc/internal/sim"
+	"snacknoc/internal/stats"
 	"snacknoc/internal/traffic"
 )
 
@@ -36,8 +38,20 @@ func main() {
 	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the simulation to this file")
+	traceLast := flag.Int("trace-last", 0, "with -trace, keep only the newest N events per simulation")
+	metricsPath := flag.String("metrics", "", "write metrics snapshots to this file (.csv for CSV)")
 	flag.Parse()
 	experiments.SetWorkers(*jobs)
+	if *traceLast > 0 && *tracePath == "" {
+		fatalf("-trace-last requires -trace")
+	}
+	if *tracePath != "" {
+		experiments.EnableTracing(*traceLast)
+	}
+	if *metricsPath != "" {
+		experiments.EnableMetrics()
+	}
 	stopProf, err := experiments.StartProfiling(*cpuprofile, *memprofile)
 	if err != nil {
 		fatalf("%v", err)
@@ -57,6 +71,16 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *tracePath != "" {
+		if err := experiments.WriteTrace(*tracePath); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *metricsPath != "" {
+		if err := experiments.WriteMetrics(*metricsPath); err != nil {
+			fatalf("%v", err)
+		}
 	}
 }
 
@@ -127,11 +151,18 @@ func runKernel(name string, w, h int, priority bool) {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	label := fmt.Sprintf("kernel/%s@%dx%d", name, w, h)
+	plat.SetTracer(experiments.ObserveTracer(label))
 	fmt.Printf("running %s on a zero-load %dx%d SnackNoC (%d entries)...\n",
 		name, w, h, len(prog.Entries))
 	res, err := plat.Run(prog, 1_000_000_000)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if experiments.MetricsEnabled() {
+		reg := stats.NewRegistry()
+		plat.RegisterMetrics(reg)
+		experiments.RecordSnapshot(reg.Snapshot(label))
 	}
 	fmt.Printf("kernel latency:      %d cycles (%.2f cycles/entry)\n",
 		res.Cycles(), float64(res.Cycles())/float64(len(prog.Entries)))

@@ -1,0 +1,42 @@
+// Command tracecheck validates Chrome trace-event JSON files produced by
+// snackbench/snacksim -trace: well-formed JSON, a traceEvents array, and
+// the per-phase required fields on every event. CI runs it on a freshly
+// traced smoke simulation so a malformed emitter fails the gate before
+// anyone loads a broken file into Perfetto.
+//
+// Usage:
+//
+//	tracecheck trace.json [more.json ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"snacknoc/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [more.json ...]")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			bad = true
+			continue
+		}
+		if err := trace.Validate(data); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("tracecheck: %s OK (%d bytes)\n", path, len(data))
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

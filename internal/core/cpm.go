@@ -7,6 +7,7 @@ import (
 	"snacknoc/internal/mem"
 	"snacknoc/internal/noc"
 	"snacknoc/internal/stats"
+	"snacknoc/internal/trace"
 )
 
 // KernelState is the CPM's kernel execution state (§III-C).
@@ -111,6 +112,9 @@ type CPM struct {
 	reinjected  stats.Counter
 	busyReplies stats.Counter
 	congestedCy stats.Counter
+
+	// tr records scheduling decisions; nil disables tracing.
+	tr *trace.Tracer
 }
 
 // NewCPM builds the manager. Attach it at its node (as the NI client and,
@@ -190,6 +194,12 @@ func (c *CPM) Submit(p *Program, cycle int64, onDone func(*Result)) bool {
 		Values:     make([]fixed.Q, p.NumOutputs),
 		StartCycle: cycle,
 	}
+	if c.tr != nil {
+		rec := trace.Instant(trace.KindCPMSubmit, cycle, int32(c.cfg.Node))
+		rec.Class = trace.ClassSnack
+		rec.Aux = int32(len(c.prog.Entries))
+		c.tr.Emit(rec)
+	}
 	return true
 }
 
@@ -248,6 +258,11 @@ func (c *CPM) Evaluate(cycle int64) {
 	congested := c.alo.Congested(cycle)
 	if congested {
 		c.congestedCy.Inc()
+		if c.tr != nil {
+			rec := trace.Instant(trace.KindCPMThrottle, cycle, int32(c.cfg.Node))
+			rec.Class = trace.ClassSnack
+			c.tr.Emit(rec)
+		}
 	} else if len(c.offload) > 0 {
 		// Congestion has passed with a partial offload buffer: release
 		// the stragglers so their dependents are never stranded.
@@ -291,6 +306,11 @@ func (c *CPM) Advance(cycle int64) {
 	if sent {
 		c.staged = nil
 		c.issued.Inc()
+		if c.tr != nil {
+			rec := trace.Instant(trace.KindCPMIssue, cycle, int32(c.cfg.Node))
+			rec.Class = trace.ClassSnack
+			c.tr.Emit(rec)
+		}
 	}
 }
 
@@ -352,6 +372,13 @@ func (c *CPM) maybeFinish(cycle int64) {
 	}
 	c.state = StateDone
 	c.result.DoneCycle = cycle
+	if c.tr != nil {
+		// Kernel-lifetime span: submission to final write-back.
+		rec := trace.Instant(trace.KindCPMFinish, cycle, int32(c.cfg.Node))
+		rec.Start = c.result.StartCycle
+		rec.Class = trace.ClassSnack
+		c.tr.Emit(rec)
+	}
 	if c.onDone != nil {
 		c.onDone(c.result)
 	}
@@ -395,4 +422,18 @@ func (c *CPM) CaptureOverflow(tok *DataToken, cycle int64) {
 func (c *CPM) FlushOffload() {
 	c.offloadMem = append(c.offloadMem, c.offload...)
 	c.offload = c.offload[:0]
+}
+
+// SetTracer installs (or, with nil, removes) the scheduling-event tracer.
+func (c *CPM) SetTracer(t *trace.Tracer) { c.tr = t }
+
+// RegisterMetrics names the CPM's statistics in reg under the prefix
+// "cpmN.".
+func (c *CPM) RegisterMetrics(reg *stats.Registry) {
+	p := fmt.Sprintf("cpm%d.", c.cfg.Node)
+	reg.AddCounter(p+"issued", &c.issued)
+	reg.AddCounter(p+"offloaded", &c.offloaded)
+	reg.AddCounter(p+"reinjected", &c.reinjected)
+	reg.AddCounter(p+"busy.replies", &c.busyReplies)
+	reg.AddCounter(p+"congested.cycles", &c.congestedCy)
 }

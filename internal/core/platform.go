@@ -7,6 +7,8 @@ import (
 	"snacknoc/internal/mem"
 	"snacknoc/internal/noc"
 	"snacknoc/internal/sim"
+	"snacknoc/internal/stats"
+	"snacknoc/internal/trace"
 )
 
 // nodeAttachment composes the per-router compute hook at the CPM's node,
@@ -239,6 +241,32 @@ func (p *Platform) Run(prog *Program, maxCycles int64) (*Result, error) {
 			prog.Name, maxCycles, p.CPM.State(), p.CPM.Issued(), p.CPM.resultsGot, prog.NumOutputs)
 	}
 	return res, nil
+}
+
+// SetTracer installs the lifecycle tracer across the whole platform:
+// every router and NI of the mesh, every RCU, and every CPM record into
+// the same per-simulation tracer. A nil tracer disables tracing.
+func (p *Platform) SetTracer(t *trace.Tracer) {
+	p.Net.SetTracer(t)
+	for _, r := range p.RCUs {
+		r.SetTracer(t)
+	}
+	for _, cpm := range p.CPMs {
+		cpm.SetTracer(t)
+	}
+}
+
+// RegisterMetrics names every statistic of the platform — network, RCUs,
+// CPMs, and engine — in reg.
+func (p *Platform) RegisterMetrics(reg *stats.Registry) {
+	p.Net.RegisterMetrics(reg)
+	for _, r := range p.RCUs {
+		r.RegisterMetrics(reg)
+	}
+	for _, cpm := range p.CPMs {
+		cpm.RegisterMetrics(reg)
+	}
+	p.Eng.RegisterMetrics(reg)
 }
 
 // TotalExecuted sums instructions executed across all RCUs.

@@ -6,6 +6,7 @@ import (
 	"snacknoc/internal/fixed"
 	"snacknoc/internal/noc"
 	"snacknoc/internal/stats"
+	"snacknoc/internal/trace"
 )
 
 // RCUConfig sizes one Router Compute Unit.
@@ -73,6 +74,7 @@ type RCU struct {
 	exec      *InstrToken
 	execVal   fixed.Q
 	busyUntil int64
+	execStart int64 // dispatch cycle of exec, for the trace span
 
 	outQ []outToken
 
@@ -82,6 +84,9 @@ type RCU struct {
 	emitted    stats.Counter
 	maxBuffer  int
 	stallCount stats.Counter // cycles with buffered work but nothing ready
+
+	// tr records operand/compute events; nil disables tracing.
+	tr *trace.Tracer
 }
 
 // NewRCU builds the compute unit for one router. The Network's
@@ -143,6 +148,7 @@ func (r *RCU) OnArrival(f *noc.Flit, cycle int64) bool {
 			return false
 		}
 		r.captured.Add(int64(fills))
+		r.emitCompute(trace.KindRCUCapture, cycle, cycle, int32(fills))
 		if int(pl.Dependents) < fills {
 			panic(fmt.Sprintf("%s: token %s over-consumed by %d fills", r.Name(), pl, fills))
 		}
@@ -286,6 +292,7 @@ func (r *RCU) dispatch(cycle int64) {
 	}
 	r.exec = it
 	r.busyUntil = cycle + it.Op.Latency()
+	r.execStart = cycle
 	r.execVal = r.compute(it)
 }
 
@@ -346,10 +353,13 @@ func (r *RCU) complete(cycle int64) {
 	it := r.exec
 	r.exec = nil
 	r.executed.Inc()
+	// ALU-occupancy span: dispatch to completion.
+	r.emitCompute(trace.KindRCUExec, cycle, r.execStart, 0)
 	if !it.Emit {
 		return
 	}
 	r.emitted.Inc()
+	r.emitCompute(trace.KindRCUEmit, cycle, cycle, 0)
 	tok := &DataToken{Dep: it.EmitDep, Dependents: it.Dependents, V: r.execVal}
 	if it.ToCPM {
 		r.outQ = append(r.outQ, outToken{dst: it.Home, tok: tok, loop: false})
@@ -357,6 +367,7 @@ func (r *RCU) complete(cycle int64) {
 	}
 	if fills := r.deliver(tok.Dep, tok.V); fills > 0 {
 		r.captured.Add(int64(fills))
+		r.emitCompute(trace.KindRCUCapture, cycle, cycle, int32(fills))
 		if int(tok.Dependents) < fills {
 			panic(fmt.Sprintf("%s: local delivery over-consumed %s", r.Name(), tok))
 		}
@@ -384,4 +395,30 @@ func (r *RCU) removeSB(q *sbQueue) {
 			return
 		}
 	}
+}
+
+// SetTracer installs (or, with nil, removes) the compute-event tracer.
+func (r *RCU) SetTracer(t *trace.Tracer) { r.tr = t }
+
+// emitCompute records one compute-track event when tracing is on.
+func (r *RCU) emitCompute(k trace.Kind, cycle, start int64, aux int32) {
+	if r.tr == nil {
+		return
+	}
+	rec := trace.Instant(k, cycle, int32(r.node))
+	rec.Start = start
+	rec.Class = trace.ClassSnack
+	rec.Aux = aux
+	r.tr.Emit(rec)
+}
+
+// RegisterMetrics names the RCU's statistics in reg under the prefix
+// "rcuN.".
+func (r *RCU) RegisterMetrics(reg *stats.Registry) {
+	p := fmt.Sprintf("rcu%d.", r.node)
+	reg.AddCounter(p+"executed", &r.executed)
+	reg.AddCounter(p+"captured", &r.captured)
+	reg.AddCounter(p+"emitted", &r.emitted)
+	reg.AddCounter(p+"stalls", &r.stallCount)
+	reg.AddGauge(p+"buffer.max", func() float64 { return float64(r.maxBuffer) })
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"snacknoc/internal/cpu"
+	"snacknoc/internal/traffic"
 )
 
 // These tests pin the simulator's end-to-end determinism: regenerating a
@@ -61,4 +62,97 @@ func TestFig9RegenerationByteIdentical(t *testing.T) {
 	var buf bytes.Buffer
 	RenderFig9(&buf, res)
 	compareArtifact(t, "../../results/fig9.txt", buf.Bytes())
+}
+
+func TestTablesRegenerationByteIdentical(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTableI(&buf, TableI())
+	compareArtifact(t, "../../results/tableI.txt", buf.Bytes())
+	buf.Reset()
+	RenderTableII(&buf, TableII())
+	compareArtifact(t, "../../results/tableII.txt", buf.Bytes())
+	buf.Reset()
+	RenderTableV(&buf, TableV())
+	compareArtifact(t, "../../results/tableV.txt", buf.Bytes())
+}
+
+func TestFig10RegenerationByteIdentical(t *testing.T) {
+	var buf bytes.Buffer
+	RenderFig10(&buf, Fig10())
+	compareArtifact(t, "../../results/fig10.txt", buf.Bytes())
+}
+
+func TestFig3RegenerationByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale fig3 regeneration simulates Raytrace end to end")
+	}
+	res, err := RunFig3(Scale(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderFig3(&buf, res)
+	compareArtifact(t, "../../results/fig3.txt", buf.Bytes())
+}
+
+func TestFig1RegenerationByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale fig1 regeneration sweeps 16 benchmarks x 8 NoC variants")
+	}
+	res, err := RunFig1(traffic.All(), Scale(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderFig1(&buf, res)
+	compareArtifact(t, "../../results/fig1.txt", buf.Bytes())
+}
+
+func TestFig11RegenerationByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig11 regeneration runs the three-leg co-run experiment")
+	}
+	res, err := RunCoRun(CoRunSpec{
+		Bench: traffic.LULESH(), Kernel: cpu.KernelSPMV,
+		Dims: DefaultKernelDims(), Width: 4, Height: 4,
+		Priority: true, Scale: Scale(1.0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderFig11(&buf, res)
+	compareArtifact(t, "../../results/fig11.txt", buf.Bytes())
+}
+
+// The fig12/fig13 regenerations sweep every benchmark against every
+// kernel (or mesh size) and take minutes each; they only run when
+// SNACKNOC_EQUIV_HEAVY=1 so the tier-1 `go test ./...` pass stays well
+// under its timeout. EXPERIMENTS.md lists the full-equivalence command.
+
+func TestFig12RegenerationByteIdentical(t *testing.T) {
+	if os.Getenv("SNACKNOC_EQUIV_HEAVY") != "1" {
+		t.Skip("set SNACKNOC_EQUIV_HEAVY=1 to run the fig12 full regeneration")
+	}
+	kernels := cpu.Kernels()
+	res, err := RunFig12(traffic.All(), kernels, DefaultKernelDims(), Scale(1.0), []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderFig12(&buf, res, kernels)
+	compareArtifact(t, "../../results/fig12.txt", buf.Bytes())
+}
+
+func TestFig13RegenerationByteIdentical(t *testing.T) {
+	if os.Getenv("SNACKNOC_EQUIV_HEAVY") != "1" {
+		t.Skip("set SNACKNOC_EQUIV_HEAVY=1 to run the fig13 full regeneration")
+	}
+	res, err := RunFig13(traffic.All(), DefaultKernelDims(), Scale(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderFig13(&buf, res, traffic.All())
+	compareArtifact(t, "../../results/fig13.txt", buf.Bytes())
 }

@@ -6,6 +6,7 @@ import (
 	"snacknoc/internal/core"
 	"snacknoc/internal/cpu"
 	"snacknoc/internal/sim"
+	"snacknoc/internal/stats"
 )
 
 // Fig9Row is one kernel's bars in Fig 9: speedups over a single CPU
@@ -67,9 +68,16 @@ func RunFig9(dims KernelDims, cpuCfg cpu.CPUConfig) (*Fig9Result, error) {
 		if err != nil {
 			return err
 		}
+		label := "fig9/" + string(k)
+		plat.SetTracer(obsTracer(label))
 		r, err := plat.Run(prog, 1_000_000_000)
 		if err != nil {
 			return fmt.Errorf("fig9 %s: %w", k, err)
+		}
+		if obsMetricsOn() {
+			reg := stats.NewRegistry()
+			plat.RegisterMetrics(reg)
+			obsRecord(reg.Snapshot(label))
 		}
 		row.SnackCycles = r.Cycles()
 		row.SnackSpeedup = float64(row.CPUOneCycles) / float64(row.SnackCycles)

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"snacknoc/internal/cpu"
+	"snacknoc/internal/trace"
+)
+
+// TestTraceDisabledByteIdentity pins the tracer's non-interference
+// contract: running an experiment with tracing and metrics collection
+// enabled must render byte-identical results to the plain run. Tracing
+// only observes flits, it never perturbs arbitration, timing, or
+// statistics.
+func TestTraceDisabledByteIdentity(t *testing.T) {
+	DisableObservability()
+	res, err := RunFig2(Scale(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain bytes.Buffer
+	RenderFig2(&plain, res)
+
+	EnableTracing(1024)
+	EnableMetrics()
+	defer DisableObservability()
+	res, err = RunFig2(Scale(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traced bytes.Buffer
+	RenderFig2(&traced, res)
+
+	if !bytes.Equal(plain.Bytes(), traced.Bytes()) {
+		t.Fatalf("fig2 output diverges when traced:\nplain:\n%s\ntraced:\n%s",
+			plain.String(), traced.String())
+	}
+	if TraceCollector().Events() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	if n := len(MetricsSnapshots()); n != len(Fig2Benchmarks()) {
+		t.Fatalf("got %d metrics snapshots, want %d", n, len(Fig2Benchmarks()))
+	}
+}
+
+// TestTraceDisabledByteIdentityCompute pins the same non-interference
+// contract on the compute path: the fig9 kernel runs exercise the
+// RCU/CPM tracers, which must not perturb kernel timing either.
+func TestTraceDisabledByteIdentityCompute(t *testing.T) {
+	DisableObservability()
+	res, err := RunFig9(DefaultKernelDims(), cpu.DefaultCPUConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain bytes.Buffer
+	RenderFig9(&plain, res)
+
+	EnableTracing(1024)
+	EnableMetrics()
+	defer DisableObservability()
+	res, err = RunFig9(DefaultKernelDims(), cpu.DefaultCPUConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traced bytes.Buffer
+	RenderFig9(&traced, res)
+
+	if !bytes.Equal(plain.Bytes(), traced.Bytes()) {
+		t.Fatalf("fig9 output diverges when traced:\nplain:\n%s\ntraced:\n%s",
+			plain.String(), traced.String())
+	}
+	if TraceCollector().Events() == 0 {
+		t.Fatal("traced kernel runs recorded no events")
+	}
+}
+
+// TestTracedParallelSweep runs a traced, metrics-collecting sweep on four
+// workers — the configuration ci.sh exercises under the race detector —
+// and checks the collected observability output is complete, valid, and
+// deterministic in shape.
+func TestTracedParallelSweep(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	EnableTracing(4096)
+	EnableMetrics()
+	defer DisableObservability()
+
+	res, err := RunFig2(Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != len(Fig2Benchmarks()) {
+		t.Fatalf("got %d runs, want %d", len(res.Runs), len(Fig2Benchmarks()))
+	}
+
+	c := TraceCollector()
+	if c.Events() == 0 {
+		t.Fatal("sweep recorded no trace events")
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(buf.Bytes()); err != nil {
+		t.Fatalf("sweep trace JSON invalid: %v", err)
+	}
+
+	snaps := MetricsSnapshots()
+	if len(snaps) != len(Fig2Benchmarks()) {
+		t.Fatalf("got %d metrics snapshots, want %d", len(snaps), len(Fig2Benchmarks()))
+	}
+	if !sort.SliceIsSorted(snaps, func(i, j int) bool { return snaps[i].Label < snaps[j].Label }) {
+		t.Fatal("metrics snapshots not sorted by label")
+	}
+	for _, s := range snaps {
+		if s.Values["net.packets.injected"] <= 0 {
+			t.Fatalf("%s: no injected packets in snapshot", s.Label)
+		}
+		// A few packets may still be in flight when the workload's last
+		// core finishes, so ejected trails injected but never exceeds it.
+		if s.Values["net.packets.ejected"] > s.Values["net.packets.injected"] {
+			t.Fatalf("%s: ejected %v exceeds injected %v", s.Label,
+				s.Values["net.packets.ejected"], s.Values["net.packets.injected"])
+		}
+	}
+}

@@ -3,6 +3,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+
+	"snacknoc/internal/cpu"
+	"snacknoc/internal/traffic"
 )
 
 // This file renders experiment results in the exact plain-text shape
@@ -38,6 +41,152 @@ func RenderFig9(w io.Writer, res *Fig9Result) {
 		fmt.Fprintf(w, "%-11s %7.2f %7.2f %7.2f %7.2f %9.2f   (%d / %d)\n",
 			r.Kernel, r.CoreSpeedups[0], r.CoreSpeedups[1], r.CoreSpeedups[2],
 			r.CoreSpeedups[3], r.SnackSpeedup, r.SnackCycles, r.Instructions)
+	}
+}
+
+// RenderTableI writes the Table I configuration comparison.
+func RenderTableI(w io.Writer, rows []TableIRow) {
+	RenderHeader(w, "Table I: Baseline NoC Configurations")
+	fmt.Fprintf(w, "%-28s %10s %10s %10s\n", "NoC Parameter", "DAPPER", "AxNoC", "BiNoCHS")
+	fmt.Fprintf(w, "%-28s %9d-stage %7d-stage %7d-stage\n", "Router Microarchitecture",
+		rows[0].PipelineDepth, rows[1].PipelineDepth, rows[2].PipelineDepth)
+	fmt.Fprintf(w, "%-28s %9dB %9dB %9dB\n", "NoC Channel Width",
+		rows[0].ChannelWidthB, rows[1].ChannelWidthB, rows[2].ChannelWidthB)
+	fmt.Fprintf(w, "%-28s %10d %10d %10d\n", "Num. Virtual Channels",
+		rows[0].VirtualChans, rows[1].VirtualChans, rows[2].VirtualChans)
+	fmt.Fprintf(w, "%-28s %10d %10d %10d\n", "Num. Buffers per Input VC",
+		rows[0].BufPerVC, rows[1].BufPerVC, rows[2].BufPerVC)
+}
+
+// RenderTableII writes the Table II per-unit overhead table.
+func RenderTableII(w io.Writer, res *TableIIResult) {
+	RenderHeader(w, "Table II: Area and Power Overhead per Functional Unit")
+	fmt.Fprintln(w, "Central Packet Manager (CPM)")
+	for _, u := range res.CPMUnits {
+		fmt.Fprintf(w, "  %-40s %7.1fmW %8.4f mm²\n", u.Name, u.PowerW*1000, u.AreaMM)
+	}
+	fmt.Fprintln(w, "Router Control Unit (RCU)")
+	for _, u := range res.RCUUnits {
+		fmt.Fprintf(w, "  %-40s %7.1fmW %8.4f mm²\n", u.Name, u.PowerW*1000, u.AreaMM)
+	}
+	for _, t := range res.Totals {
+		fmt.Fprintf(w, "%-42s %8.2f W %8.2f mm²\n", t.Name, t.PowerW, t.AreaMM)
+	}
+}
+
+// RenderTableV writes the Table V platform comparison.
+func RenderTableV(w io.Writer, res *TableVResult) {
+	RenderHeader(w, "Table V: Area and Power of CPU vs SnackNoC")
+	fmt.Fprintf(w, "%-28s %8s %10s\n", "Platform", "Power(W)", "Area(mm²)")
+	fmt.Fprintf(w, "%-28s %8.0f %10.0f\n", res.CPU.Name, res.CPU.PowerW, res.CPU.AreaMM)
+	fmt.Fprintf(w, "%-28s %8.2f %10.2f\n", "SnackNoC (16 RCU)", res.Snack.PowerW, res.Snack.AreaMM)
+}
+
+// RenderFig10 writes the Fig 10 uncore power/area breakdown.
+func RenderFig10(w io.Writer, res *Fig10Result) {
+	RenderHeader(w, "Fig 10: Uncore Power and Area with SnackNoC")
+	labels := []string{"L2 Cache", "SnackNoC Additions", "L1 Cache", "Baseline NoC"}
+	fmt.Fprintf(w, "%-22s %9s %9s\n", "Component", "Power(%)", "Area(%)")
+	for i, l := range labels {
+		fmt.Fprintf(w, "%-22s %8.1f%% %8.1f%%\n", l, res.PowerPct[i], res.AreaPct[i])
+	}
+	t := res.Breakdown.Total()
+	fmt.Fprintf(w, "%-22s %7.2f W %6.1f mm²\n", "Total uncore", t.PowerW, t.AreaMM)
+}
+
+// RenderFig1 writes the Fig 1 slowdown matrix.
+func RenderFig1(w io.Writer, res *Fig1Result) {
+	RenderHeader(w, "Fig 1: Normalized Execution Slowdown (%) wrt BiNoCHS")
+	fmt.Fprintf(w, "%-16s", "Benchmark")
+	for _, v := range res.Variants {
+		fmt.Fprintf(w, " %22s", v)
+	}
+	fmt.Fprintln(w)
+	for _, row := range res.Rows {
+		fmt.Fprintf(w, "%-16s", row.Benchmark)
+		for _, s := range row.SlowdownPct {
+			fmt.Fprintf(w, " %21.2f%%", s)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, v := range res.Variants {
+		fmt.Fprintf(w, "%-26s mean %6.2f%%  max %6.2f%%\n", v, res.MeanSlowdown(v), res.MaxSlowdown(v))
+	}
+}
+
+// RenderFig3 writes the Fig 3 buffer-occupancy CDF.
+func RenderFig3(w io.Writer, res *Fig3Result) {
+	RenderHeader(w, "Fig 3: NoC Buffer Utilization CDF (Raytrace)")
+	fmt.Fprintf(w, "cycles at zero buffer occupancy: %5.2f%%\n", res.ZeroOccupancyPct)
+	fmt.Fprintf(w, "99th percentile occupancy:       %5.2f%% of capacity\n", res.P99OccupancyPct)
+	fmt.Fprintln(w, "CDF (occupancy% -> cumulative probability):")
+	for _, pt := range res.Run.BufferCDF {
+		fmt.Fprintf(w, "  <=%5.1f%% : %7.5f\n", pt.Value*100, pt.Prob)
+	}
+}
+
+// RenderFig11 writes the Fig 11 co-run interference report.
+func RenderFig11(w io.Writer, r *CoRunResult) {
+	RenderHeader(w, "Fig 11: LULESH Crossbar Usage with SPMV Kernel Co-Running")
+	fmt.Fprintf(w, "benchmark impact:   %+.3f%%\n", r.ImpactPct())
+	fmt.Fprintf(w, "kernel runs:        %d (avg %.0f cycles, zero-load %d, slowdown %+.2f%%)\n",
+		r.KernelRuns, r.KernelCyclesAvg, r.ZeroLoadCycles, r.KernelSlowdownPct())
+	fmt.Fprintf(w, "co-run median crossbar: %.2f%% (LULESH alone: ~Fig 2a-3)\n", r.XbarMedianPct)
+	fmt.Fprintf(w, "tokens offloaded:   %d\n", r.Offloaded)
+	fmt.Fprintln(w, "co-run crossbar usage % per router over time:")
+	RenderSeries(w, r.XbarSeries, 12)
+}
+
+// RenderFig12 writes the Fig 12 impact matrix for the kernels it was run
+// with.
+func RenderFig12(w io.Writer, res *Fig12Result, kernels []cpu.KernelName) {
+	RenderHeader(w, "Fig 12: Impact of SnackNoC Kernels on CMP Runtime (%)")
+	fmt.Fprintf(w, "%-16s", "Benchmark")
+	for _, k := range kernels {
+		fmt.Fprintf(w, " %9s %9s", k, k+"+P")
+	}
+	fmt.Fprintln(w)
+	for _, row := range res.Rows {
+		fmt.Fprintf(w, "%-16s", row.Benchmark)
+		for _, k := range kernels {
+			for _, pri := range []bool{false, true} {
+				for _, c := range row.Cells {
+					if c.Kernel == k && c.Priority == pri {
+						fmt.Fprintf(w, " %+8.3f%%", c.ImpactPct)
+					}
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "\nworst impact without priority: %.3f%%\n", res.MaxImpact(false))
+	fmt.Fprintf(w, "worst impact with priority:    %.3f%%\n", res.MaxImpact(true))
+	fmt.Fprintf(w, "worst kernel slowdown:         %.2f%%\n", res.MaxKernelSlowdown())
+}
+
+// RenderFig13 writes the Fig 13 scaling matrix for the benchmarks it was
+// run with.
+func RenderFig13(w io.Writer, res *Fig13Result, benches []*traffic.Profile) {
+	RenderHeader(w, "Fig 13: SGEMM Impact as Cores Scale (%)")
+	sizes := []int{16, 32, 64, 128}
+	fmt.Fprintf(w, "%-16s", "Benchmark")
+	for _, n := range sizes {
+		fmt.Fprintf(w, " %7d", n)
+	}
+	fmt.Fprintln(w, " (cores & RCUs)")
+	for _, b := range benches {
+		fmt.Fprintf(w, "%-16s", b.Name)
+		for _, n := range sizes {
+			for _, p := range res.Points {
+				if p.Benchmark == b.Name && p.Nodes == n {
+					fmt.Fprintf(w, " %+6.3f%%", p.ImpactPct)
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range sizes {
+		fmt.Fprintf(w, "max impact at %3d nodes: %.3f%%\n", n, res.MaxImpact(n))
 	}
 }
 

@@ -61,6 +61,8 @@ func RunBenchmark(cfg *noc.Config, prof *traffic.Profile, scale Scale) (*BenchRu
 		return nil, err
 	}
 	net.EnableSampling(sampleInterval)
+	label := prof.Name + "@" + cfg.Name
+	net.SetTracer(obsTracer(label))
 	sys, err := cache.NewSystem(eng, net, cache.DefaultSystemConfig())
 	if err != nil {
 		return nil, err
@@ -72,6 +74,14 @@ func RunBenchmark(cfg *noc.Config, prof *traffic.Profile, scale Scale) (*BenchRu
 	rt, ok := cpu.Run(eng, w, 2_000_000_000)
 	if !ok {
 		return nil, fmt.Errorf("experiments: %s on %s did not complete", prof.Name, cfg.Name)
+	}
+	if obsMetricsOn() {
+		reg := stats.NewRegistry()
+		net.RegisterMetrics(reg)
+		eng.RegisterMetrics(reg)
+		reg.AddGauge("cache.l1.hitrate", sys.L1HitRate)
+		reg.AddGauge("cache.l2.hitrate", sys.L2HitRate)
+		obsRecord(reg.Snapshot(label))
 	}
 	return collect(prof.Name, cfg.Name, rt, net, sys), nil
 }
@@ -225,11 +235,16 @@ func RunCoRun(spec CoRunSpec) (*CoRunResult, error) {
 		return nil, err
 	}
 	res := &CoRunResult{Benchmark: spec.Bench.Name, Kernel: spec.Kernel, Priority: spec.Priority}
+	cell := fmt.Sprintf("%sx%s", spec.Bench.Name, spec.Kernel)
+	if spec.Priority {
+		cell += "+P"
+	}
+	cell += fmt.Sprintf("@%dx%d", spec.Width, spec.Height)
 
 	// Leg 1: benchmark alone on the snack-capable NoC (RCUs present but
 	// idle), the Fig 12 baseline.
 	baseCfg := noc.SnackPlatform(spec.Width, spec.Height, spec.Priority)
-	base, err := runCoRunLeg(baseCfg, spec, nil, nil)
+	base, err := runCoRunLeg(baseCfg, spec, nil, nil, cell+"/base")
 	if err != nil {
 		return nil, err
 	}
@@ -241,14 +256,20 @@ func RunCoRun(spec CoRunSpec) (*CoRunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	zeroPlat.SetTracer(obsTracer(cell + "/zero"))
 	zr, err := zeroPlat.Run(prog, 500_000_000)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: zero-load %s: %w", spec.Kernel, err)
 	}
 	res.ZeroLoadCycles = zr.Cycles()
+	if obsMetricsOn() {
+		reg := stats.NewRegistry()
+		zeroPlat.RegisterMetrics(reg)
+		obsRecord(reg.Snapshot(cell + "/zero"))
+	}
 
 	// Leg 3: co-run.
-	co, err := runCoRunLeg(noc.SnackPlatform(spec.Width, spec.Height, spec.Priority), spec, prog, res)
+	co, err := runCoRunLeg(noc.SnackPlatform(spec.Width, spec.Height, spec.Priority), spec, prog, res, cell+"/corun")
 	if err != nil {
 		return nil, err
 	}
@@ -266,13 +287,15 @@ type legResult struct {
 
 // runCoRunLeg runs the benchmark, optionally with kernels resubmitted
 // continually. When prog is non-nil, kernel stats accumulate into out.
-func runCoRunLeg(cfg *noc.Config, spec CoRunSpec, prog *core.Program, out *CoRunResult) (*legResult, error) {
+func runCoRunLeg(cfg *noc.Config, spec CoRunSpec, prog *core.Program, out *CoRunResult, label string) (*legResult, error) {
 	eng := sim.NewEngine()
 	net, err := noc.New(eng, cfg)
 	if err != nil {
 		return nil, err
 	}
 	net.EnableSampling(sampleInterval)
+	tr := obsTracer(label)
+	net.SetTracer(tr)
 	sys, err := cache.NewSystem(eng, net, cache.DefaultSystemConfig())
 	if err != nil {
 		return nil, err
@@ -287,6 +310,7 @@ func runCoRunLeg(cfg *noc.Config, spec CoRunSpec, prog *core.Program, out *CoRun
 		if err != nil {
 			return nil, err
 		}
+		plat.SetTracer(tr)
 		var kernelCycles int64
 		var resubmit func(r *core.Result)
 		resubmit = func(r *core.Result) {
@@ -311,6 +335,18 @@ func runCoRunLeg(cfg *noc.Config, spec CoRunSpec, prog *core.Program, out *CoRun
 	}
 	if plat != nil {
 		out.Offloaded = plat.CPM.Offloaded()
+	}
+	if obsMetricsOn() {
+		reg := stats.NewRegistry()
+		if plat != nil {
+			plat.RegisterMetrics(reg)
+		} else {
+			net.RegisterMetrics(reg)
+			eng.RegisterMetrics(reg)
+		}
+		reg.AddGauge("cache.l1.hitrate", sys.L1HitRate)
+		reg.AddGauge("cache.l2.hitrate", sys.L2HitRate)
+		obsRecord(reg.Snapshot(label))
 	}
 	// Interference is measured on the mean per-core finish time; see
 	// cpu.Workload.MeanFinish for why the maximum is too noisy at

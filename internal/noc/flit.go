@@ -63,6 +63,9 @@ type Flit struct {
 	// router-internal state, reset at each hop
 	outPort    Direction
 	eligibleAt int64
+	// arrivedAt is the cycle this flit was buffered at the current router,
+	// stamped only while tracing so flit spans know their start.
+	arrivedAt int64
 }
 
 // IsHead reports whether the flit opens a packet.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"snacknoc/internal/sim"
+	"snacknoc/internal/stats"
+	"snacknoc/internal/trace"
 )
 
 // Network is a complete mesh NoC instance: routers, links, and network
@@ -150,6 +152,36 @@ func (n *Network) NewPacketID() uint64 {
 func (n *Network) EnableSampling(interval int64) {
 	for _, r := range n.routers {
 		r.EnableSampling(interval)
+	}
+}
+
+// SetTracer installs the lifecycle-event tracer on every router and
+// network interface (nil removes it). Tracing must be configured before
+// the run whose events are wanted; it does not alter simulated behavior.
+func (n *Network) SetTracer(t *trace.Tracer) {
+	for _, r := range n.routers {
+		r.SetTracer(t)
+	}
+	for _, ni := range n.nis {
+		ni.SetTracer(t)
+	}
+}
+
+// RegisterMetrics names every router and NI statistic in reg, plus the
+// network-wide aggregates (total packets, per-vnet mean latency).
+func (n *Network) RegisterMetrics(reg *stats.Registry) {
+	for _, r := range n.routers {
+		r.RegisterMetrics(reg)
+	}
+	for _, ni := range n.nis {
+		ni.RegisterMetrics(reg)
+	}
+	reg.AddGauge("net.packets.injected", func() float64 { return float64(n.TotalInjected()) })
+	reg.AddGauge("net.packets.ejected", func() float64 { return float64(n.TotalEjected()) })
+	for v := range n.cfg.VNets {
+		v := v
+		reg.AddGauge(fmt.Sprintf("net.vnet%d.avglat", v),
+			func() float64 { return n.AvgPacketLatency(v) })
 	}
 }
 

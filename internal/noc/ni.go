@@ -5,6 +5,7 @@ import (
 
 	"snacknoc/internal/sim"
 	"snacknoc/internal/stats"
+	"snacknoc/internal/trace"
 )
 
 // Client receives packets ejected at a node: a cache controller, memory
@@ -70,6 +71,9 @@ type NI struct {
 	latSum    []int64 // per-vnet total packet latency
 	latCount  []int64
 	maxQueued int
+
+	// tr records packet/flit lifecycle events; nil disables tracing.
+	tr *trace.Tracer
 }
 
 type reasmState struct {
@@ -126,6 +130,10 @@ func (ni *NI) AttachClient(c Client) { ni.client = c }
 // the Network.
 func (ni *NI) Inject(p *Packet, cycle int64) {
 	ni.incoming = append(ni.incoming, injectReq{pkt: p, stamp: cycle})
+	if ni.tr != nil {
+		rec := ni.pktRecord(trace.KindInject, cycle, cycle, p.ID, p.VNet)
+		ni.tr.Emit(rec)
+	}
 	ni.handle.WakeAt(cycle + 1)
 }
 
@@ -244,6 +252,12 @@ func (ni *NI) Evaluate(cycle int64) {
 			ni.credits[t.vnet][t.vc]--
 			ni.staged = f
 			ni.flitsOut.Inc()
+			if ni.tr != nil {
+				rec := ni.pktRecord(trace.KindFlitSend, cycle, cycle, f.PacketID, f.VNet)
+				rec.Seq = int16(f.SeqInPkt)
+				rec.VC = int8(f.VC)
+				ni.tr.Emit(rec)
+			}
 			ni.txRR = (ni.txRR + i + 1) % n
 			if t.next == len(t.flits) {
 				ni.vcBusy[t.vnet][t.vc] = false
@@ -256,6 +270,12 @@ func (ni *NI) Evaluate(cycle int64) {
 	// Ejection: reassemble arriving flits into packets.
 	ni.fromRouter.drainReady(cycle, func(f *Flit) {
 		ni.flitsIn.Inc()
+		if ni.tr != nil {
+			rec := ni.pktRecord(trace.KindEject, cycle, cycle, f.PacketID, f.VNet)
+			rec.Seq = int16(f.SeqInPkt)
+			rec.VC = int8(f.VC)
+			ni.tr.Emit(rec)
+		}
 		st := ni.reasm[f.PacketID]
 		if st == nil {
 			st = ni.newReasm(f)
@@ -274,6 +294,10 @@ func (ni *NI) Evaluate(cycle int64) {
 			ni.ejected.Inc()
 			ni.latSum[vnet] += cycle - inject
 			ni.latCount[vnet]++
+			if ni.tr != nil {
+				// Packet-lifetime span: injection to delivery.
+				ni.tr.Emit(ni.pktRecord(trace.KindDeliver, cycle, inject, f.PacketID, vnet))
+			}
 			pkt := st.pkt
 			st.pkt = nil
 			ni.reasmFree = append(ni.reasmFree, st)
@@ -358,4 +382,46 @@ func (ni *NI) totalQueued() int {
 		n += len(w)
 	}
 	return n
+}
+
+// SetTracer installs (or, with nil, removes) the lifecycle-event tracer.
+func (ni *NI) SetTracer(t *trace.Tracer) { ni.tr = t }
+
+// pktRecord builds a trace record for a packet-level NI event.
+func (ni *NI) pktRecord(k trace.Kind, cycle, start int64, pktID uint64, vnet int) trace.Record {
+	cl := int8(trace.ClassComm)
+	if vnet == ni.cfg.SnackVNet {
+		cl = trace.ClassSnack
+	}
+	return trace.Record{
+		Kind:   k,
+		Cycle:  cycle,
+		Start:  start,
+		Packet: pktID,
+		Node:   int32(ni.node),
+		Seq:    -1,
+		Class:  cl,
+		Port:   -1,
+		VNet:   int8(vnet),
+		VC:     -1,
+	}
+}
+
+// RegisterMetrics names the NI's statistics in reg under the prefix
+// "niN.": packet and flit counts, the peak injection-queue depth, and
+// per-vnet delivered-packet latency.
+func (ni *NI) RegisterMetrics(reg *stats.Registry) {
+	p := fmt.Sprintf("ni%d.", ni.node)
+	reg.AddCounter(p+"packets.injected", &ni.injected)
+	reg.AddCounter(p+"packets.ejected", &ni.ejected)
+	reg.AddCounter(p+"flits.in", &ni.flitsIn)
+	reg.AddCounter(p+"flits.out", &ni.flitsOut)
+	reg.AddGauge(p+"queue.max", func() float64 { return float64(ni.maxQueued) })
+	for v := range ni.latSum {
+		v := v
+		reg.AddGauge(fmt.Sprintf("%svnet%d.delivered", p, v),
+			func() float64 { return float64(ni.latCount[v]) })
+		reg.AddGauge(fmt.Sprintf("%svnet%d.avglat", p, v),
+			func() float64 { return ni.AvgLatency(v) })
+	}
 }

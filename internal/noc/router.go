@@ -6,6 +6,7 @@ import (
 
 	"snacknoc/internal/sim"
 	"snacknoc/internal/stats"
+	"snacknoc/internal/trace"
 )
 
 // ComputeUnit is the router-side attachment point for a SnackNoC Router
@@ -56,6 +57,9 @@ type inputVC struct {
 	outPort Direction
 	outVC   int
 	refIdx  int // index into Router.refs
+	// arrived counts flits ever buffered here, the per-VC occupancy
+	// attribution exported through the metrics registry.
+	arrived int64
 }
 
 // popFront dequeues the head flit while preserving the queue's backing
@@ -166,6 +170,14 @@ type Router struct {
 	// bucket, replacing a float divide per cycle with a table lookup.
 	bufBucket []int32
 	consumed  stats.Counter // snack flits consumed by the compute unit
+	// classMoves splits crossbar traversals by priority class, the
+	// attribution behind the §III-D3 "snacking never displaces CMP
+	// traffic" claim.
+	classMoves [2]stats.Counter
+
+	// tr records flit-lifecycle events; nil (the default) disables
+	// tracing and must cost nothing beyond the nil checks.
+	tr *trace.Tracer
 }
 
 type stagedCredit struct {
@@ -512,6 +524,9 @@ func (r *Router) ingestArrivals(cycle int64) {
 					// Consumed before buffering: the reserved slot is
 					// returned upstream immediately.
 					r.consumed.Inc()
+					if r.tr != nil {
+						r.tr.Emit(r.flitRecord(trace.KindConsume, cycle, cycle, f, in.dir))
+					}
 					r.stagedCredits = append(r.stagedCredits,
 						stagedCredit{port: in.dir, msg: creditMsg{vnet: f.VNet, vc: f.VC}})
 					r.pool.put(f)
@@ -529,7 +544,12 @@ func (r *Router) ingestArrivals(cycle int64) {
 					r.Name(), in.dir, f.VNet, f.VC, f))
 			}
 			ivc.q = append(ivc.q, f)
+			ivc.arrived++
 			r.occupancy++
+			if r.tr != nil {
+				f.arrivedAt = cycle
+				r.tr.Emit(r.flitRecord(trace.KindFlitArrive, cycle, cycle, f, in.dir))
+			}
 			if ivc.state == vcIdle {
 				ivc.state = vcRoute
 				r.needRoute = append(r.needRoute, ivc.refIdx)
@@ -595,6 +615,9 @@ func (r *Router) tryAllocVC(idx int, cycle int64) bool {
 		f := ivc.popFront()
 		r.occupancy--
 		r.consumed.Inc()
+		if r.tr != nil {
+			r.tr.Emit(r.flitRecord(trace.KindDrain, cycle, cycle, f, ref.port))
+		}
 		r.stagedCredits = append(r.stagedCredits,
 			stagedCredit{port: ref.port, msg: creditMsg{vnet: ref.vnet, vc: ref.vc}})
 		if !f.IsTail() {
@@ -623,6 +646,11 @@ func (r *Router) tryAllocVC(idx int, cycle int64) bool {
 			ivc.outVC = c
 			ivc.state = vcActive
 			r.addSACand(ivc.outPort, ref.class, idx)
+			if r.tr != nil {
+				rec := r.flitRecord(trace.KindVCAlloc, cycle, cycle, ivc.q[0], ivc.outPort)
+				rec.VC = int8(c)
+				r.tr.Emit(rec)
+			}
 			return true
 		}
 	}
@@ -648,7 +676,7 @@ func (r *Router) allocateSwitch(cycle int64) int {
 		for m := r.saMask[classComm]; m != 0; m &= m - 1 {
 			d := Direction(bits.TrailingZeros32(m))
 			if win := r.scanCand(r.saCand[d][classComm], r.saRound, d, cycle, &grantedInputs); win >= 0 {
-				r.traverse(d, win, &grantedInputs)
+				r.traverse(d, win, cycle, &grantedInputs)
 				moves++
 			}
 		}
@@ -658,7 +686,7 @@ func (r *Router) allocateSwitch(cycle int64) int {
 				continue
 			}
 			if win := r.scanCand(r.saCand[d][classSnack], r.saRound, d, cycle, &grantedInputs); win >= 0 {
-				r.traverse(d, win, &grantedInputs)
+				r.traverse(d, win, cycle, &grantedInputs)
 				moves++
 			}
 		}
@@ -670,7 +698,7 @@ func (r *Router) allocateSwitch(cycle int64) int {
 		if win < 0 {
 			continue
 		}
-		r.traverse(d, win, &grantedInputs)
+		r.traverse(d, win, cycle, &grantedInputs)
 		moves++
 	}
 	return moves
@@ -678,12 +706,18 @@ func (r *Router) allocateSwitch(cycle int64) int {
 
 // traverse moves the winning VC's head flit through the crossbar toward
 // output d, handling credits, VC release, and statistics.
-func (r *Router) traverse(d Direction, win int, granted *[numDirections]bool) {
+func (r *Router) traverse(d Direction, win int, cycle int64, granted *[numDirections]bool) {
 	out := r.outputs[d]
 	ref := &r.refs[win]
 	ivc := ref.ivc
 	f := ivc.popFront()
 	r.occupancy--
+	r.classMoves[ref.class].Inc()
+	if r.tr != nil {
+		rec := r.flitRecord(trace.KindSwitch, cycle, f.arrivedAt, f, d)
+		rec.VC = int8(ivc.outVC)
+		r.tr.Emit(rec)
+	}
 	f.VC = ivc.outVC
 	out.credits[ref.vnet][ivc.outVC]--
 	out.staged = f
@@ -797,4 +831,62 @@ func (r *Router) observe(cycle int64, moves int) {
 	}
 	r.xbarMoves.Add(int64(moves))
 	r.bufHist.ObserveBucket(int(r.bufBucket[r.occupancy]))
+}
+
+// SetTracer installs (or, with nil, removes) the lifecycle-event tracer.
+func (r *Router) SetTracer(t *trace.Tracer) { r.tr = t }
+
+// flitRecord builds a trace record carrying f's coordinates. port is the
+// input direction for arrival-side kinds and the output direction for
+// KindVCAlloc/KindSwitch; start is the span start (== cycle for instants).
+func (r *Router) flitRecord(k trace.Kind, cycle, start int64, f *Flit, port Direction) trace.Record {
+	cl := int8(trace.ClassComm)
+	if f.VNet == r.snackVNet {
+		cl = trace.ClassSnack
+	}
+	return trace.Record{
+		Kind:   k,
+		Cycle:  cycle,
+		Start:  start,
+		Packet: f.PacketID,
+		Node:   int32(r.id),
+		Seq:    int16(f.SeqInPkt),
+		Class:  cl,
+		Port:   int8(port),
+		VNet:   int8(f.VNet),
+		VC:     int8(f.VC),
+	}
+}
+
+// RegisterMetrics names the router's statistics in reg under the prefix
+// "routerN.": crossbar utilization and traversal counts (split by priority
+// class), the buffer-occupancy histogram, per-output-link utilization,
+// compute-consumed flits, and per-input-VC arrival counts.
+func (r *Router) RegisterMetrics(reg *stats.Registry) {
+	p := fmt.Sprintf("router%d.", r.id)
+	reg.AddUtilization(p+"xbar", &r.xbarUtil)
+	reg.AddCounter(p+"xbar.moves", &r.xbarMoves)
+	reg.AddCounter(p+"xbar.moves.comm", &r.classMoves[classComm])
+	reg.AddCounter(p+"xbar.moves.snack", &r.classMoves[classSnack])
+	reg.AddHistogram(p+"buf.occupancy", r.bufHist)
+	reg.AddCounter(p+"compute.consumed", &r.consumed)
+	if r.xbarSeries != nil {
+		reg.AddTimeSeries(p+"xbar.series", r.xbarSeries)
+	}
+	for _, out := range r.outList {
+		lp := fmt.Sprintf("%slink.%s", p, out.dir)
+		reg.AddUtilization(lp, &out.util)
+		if out.series != nil {
+			reg.AddTimeSeries(lp+".series", out.series)
+		}
+	}
+	for _, in := range r.inList {
+		for v := range in.vcs {
+			for c, ivc := range in.vcs[v] {
+				ivc := ivc
+				reg.AddGauge(fmt.Sprintf("%svc.%s.v%d.c%d.arrived", p, in.dir, v, c),
+					func() float64 { return float64(ivc.arrived) })
+			}
+		}
+	}
 }

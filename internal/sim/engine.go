@@ -37,7 +37,11 @@
 // ~10% utilization most routers and NIs are asleep at any instant.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"snacknoc/internal/stats"
+)
 
 // Component is a hardware block driven by the engine. Evaluate must not
 // modify state observable by other components; Advance commits it.
@@ -298,6 +302,17 @@ func (e *Engine) runEvents() {
 		}
 	}
 	e.wheel.release(due)
+}
+
+// RegisterMetrics names the engine's own state in reg: the simulated
+// cycle, registered and awake component counts, and how many events were
+// ever scheduled. All are gauges read at snapshot time, so registration
+// adds no per-cycle cost.
+func (e *Engine) RegisterMetrics(reg *stats.Registry) {
+	reg.AddGauge("engine.cycle", func() float64 { return float64(e.cycle) })
+	reg.AddGauge("engine.components", func() float64 { return float64(len(e.comps)) })
+	reg.AddGauge("engine.awake", func() float64 { return float64(len(e.active)) })
+	reg.AddGauge("engine.events.scheduled", func() float64 { return float64(e.seq) })
 }
 
 // Run executes up to n cycles, stopping early if Stop is called.

@@ -128,8 +128,13 @@ func (t *TimeSeries) ObserveIdleN(n int64) {
 // Interval returns the sampling interval in cycles.
 func (t *TimeSeries) Interval() int64 { return t.interval }
 
-// Samples returns the completed samples as fractions in [0,1].
-func (t *TimeSeries) Samples() []float64 { return t.samples }
+// Samples returns a copy of the completed samples as fractions in [0,1].
+// Returning a copy keeps snapshots taken mid-run (registry exports, the
+// figure collectors) immune to later observations growing or rewriting
+// the internal buffer.
+func (t *TimeSeries) Samples() []float64 {
+	return append([]float64(nil), t.samples...)
+}
 
 // Median returns the median of completed samples (0 if none).
 func (t *TimeSeries) Median() float64 { return Median(t.samples) }
@@ -206,8 +211,11 @@ func (h *Histogram) ObserveN(v float64, n int64) {
 // Total returns the number of observations.
 func (h *Histogram) Total() int64 { return h.total }
 
-// Buckets returns the raw bucket counts.
-func (h *Histogram) Buckets() []int64 { return h.buckets }
+// Buckets returns a copy of the bucket counts; later observations cannot
+// mutate a returned snapshot.
+func (h *Histogram) Buckets() []int64 {
+	return append([]int64(nil), h.buckets...)
+}
 
 // CDF returns (upper-edge, cumulative-probability) pairs, one per bucket.
 // This is the form plotted in the paper's Fig 3.

@@ -5,19 +5,22 @@
 # points (see EXPERIMENTS.md, "Performance").
 #
 # Environment:
-#   BENCH_OUT       output file            (default BENCH_3.json)
+#   BENCH_OUT       output file            (default BENCH_5.json)
 #   BENCHTIME       go test -benchtime    (default 1x; use e.g. 3x to average)
 #   BENCH_RE        go test -bench regexp (default .)
 #   SWEEP_SCALE     sweep -scale          (default 0.25; 0 skips the sweep)
 #   BENCH_BASELINE  earlier BENCH_<n>.json to diff ns/op against (optional)
+#   BENCH_NOTE      free-text note embedded in the JSON (e.g. host state)
+#   BENCH_GUARD     0 skips the regression guard (recording on a noisy host)
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_3.json}
+out=${BENCH_OUT:-BENCH_5.json}
 benchtime=${BENCHTIME:-1x}
 benchre=${BENCH_RE:-.}
 sweepscale=${SWEEP_SCALE:-0.25}
 baseline=${BENCH_BASELINE:-}
+note=${BENCH_NOTE:-}
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -72,6 +75,7 @@ fi
 # file is given, append a before/after ns/op comparison per benchmark.
 awk -v sweep_j1="$sweep_j1" -v sweep_jn="$sweep_jn" -v ncpu="$ncpu" \
     -v workers="$workers" -v sweep_ran="$sweep_ran" -v baseline="$baseline" \
+    -v note="$note" \
     -v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" '
 BEGIN {
     printf "{\n  \"benchmarks\": {\n"
@@ -127,9 +131,34 @@ END {
         }
         printf "\n  },\n"
     }
+    if (note != "") {
+        gsub(/["\\]/, "", note)
+        printf "  \"note\": \"%s\",\n", note
+    }
     printf "  \"goos\": \"%s\", \"goarch\": \"%s\"\n", goos, goarch
     printf "}\n"
 }
 ' "$raw" > "$out"
 
 echo "wrote $out" >&2
+
+# Guard: when diffing against a baseline, a >BENCH_GUARD_PCT (default 2%)
+# regression of the trace-disabled Fig 2 router benchmark fails the run —
+# the tracing fast path is contractually free when disabled. BENCH_GUARD=0
+# skips it: absolute ns/op comparisons across sessions are only meaningful
+# when the host is in the same state as when the baseline was recorded
+# (use an interleaved A/B run to judge a real regression, see
+# EXPERIMENTS.md "Performance").
+if [ -n "$baseline" ] && [ "${BENCH_GUARD:-1}" != "0" ]; then
+    guard_pct=${BENCH_GUARD_PCT:-2}
+    base_ns=$(awk -F'"ns/op": ' '/"BenchmarkFig2RouterUsage"/ {split($2, a, /[,}]/); print a[1]; exit}' "$baseline")
+    new_ns=$(awk -F'"ns/op": ' '/"BenchmarkFig2RouterUsage"/ {split($2, a, /[,}]/); print a[1]; exit}' "$out")
+    if [ -n "$base_ns" ] && [ -n "$new_ns" ]; then
+        if awk "BEGIN{exit !($new_ns > $base_ns * (1 + $guard_pct / 100))}"; then
+            echo "ERROR: BenchmarkFig2RouterUsage regressed: $new_ns ns/op vs baseline $base_ns" \
+                "(budget ${guard_pct}%)" >&2
+            exit 1
+        fi
+        echo "bench guard: $new_ns ns/op vs baseline $base_ns — within ${guard_pct}%" >&2
+    fi
+fi

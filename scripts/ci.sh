@@ -21,8 +21,19 @@ go build ./...
 echo "== go test ./... =="
 go test ./...
 
-echo "== go test -race ./internal/experiments =="
-go test -race ./internal/experiments
+# The race pass uses -short so the full-scale figure regenerations (which
+# the plain pass above already ran) are not repeated at the race
+# detector's ~10x slowdown; the traced parallel-sweep test ignores -short
+# and is the concurrency coverage this pass exists for.
+echo "== go test -race -short ./internal/experiments =="
+go test -race -short ./internal/experiments
+
+# CI_HEAVY=1 additionally regenerates the fig12/fig13 full sweeps
+# (minutes each) and byte-compares them against results/.
+if [ "${CI_HEAVY:-0}" = "1" ]; then
+    echo "== heavy equivalence (fig12, fig13) =="
+    SNACKNOC_EQUIV_HEAVY=1 go test -run 'TestFig1[23]Regeneration' -timeout 60m ./internal/experiments
+fi
 
 # Benchmark smoke: one iteration of the scheduler and router micro-
 # benchmarks, so a panic or hang in the hot paths breaks the gate even
@@ -30,5 +41,57 @@ go test -race ./internal/experiments
 echo "== benchmark smoke (1 iteration) =="
 go test -run '^$' -bench 'BenchmarkEngineSchedule' -benchtime 1x ./internal/sim
 go test -run '^$' -bench 'BenchmarkRouterEvaluate' -benchtime 1x ./internal/noc
+
+# Observability smoke: trace and snapshot a tiny deterministic kernel run,
+# validate the trace-event JSON, and diff the metrics against the golden
+# snapshot under results/. Any behavioural change shows up here as a
+# metrics diff (regenerate the golden alongside results/ when intended).
+echo "== observability smoke (traced Reduction kernel) =="
+obs_bin=/tmp/snacksim.ci.$$
+obs_trace=/tmp/ci-trace.$$.json
+obs_metrics=/tmp/ci-metrics.$$.json
+trap 'rm -f "$obs_bin" "$obs_trace" "$obs_metrics"' EXIT
+go build -o "$obs_bin" ./cmd/snacksim
+"$obs_bin" -kernel Reduction -trace "$obs_trace" -trace-last 4096 \
+    -metrics "$obs_metrics" >/dev/null
+go run ./cmd/tracecheck "$obs_trace"
+go run ./cmd/metricsdiff "$obs_metrics" results/smoke-metrics.json
+
+# Bench guard: tracing must be free when disabled. The trace-disabled
+# Fig 2 router benchmark may not regress more than BENCH_GUARD_PCT
+# (default 2%) against the ns/op recorded in BENCH_GUARD_BASE. The best
+# of three runs is compared, not a single sample — a loaded host skews
+# individual runs by more than the budget being enforced.
+# BENCH_GUARD=0 skips the guard (e.g. on a machine the baseline was not
+# recorded on, where absolute ns/op is not comparable).
+if [ "${BENCH_GUARD:-1}" != "0" ]; then
+    guard_base_file=${BENCH_GUARD_BASE:-BENCH_3.json}
+    guard_pct=${BENCH_GUARD_PCT:-2}
+    base=$(awk -F'"ns/op": ' '/"BenchmarkFig2RouterUsage"/ {split($2, a, /[,}]/); print a[1]; exit}' "$guard_base_file")
+    if [ -z "$base" ]; then
+        echo "ERROR: no BenchmarkFig2RouterUsage ns/op in $guard_base_file" >&2
+        exit 1
+    fi
+    echo "== bench guard: BenchmarkFig2RouterUsage vs $guard_base_file (${guard_pct}% budget) =="
+    best=""
+    for i in 1 2 3; do
+        ns=$(go test -run '^$' -bench '^BenchmarkFig2RouterUsage$' -benchtime 3x -count 1 . |
+            awk '/^BenchmarkFig2RouterUsage/ {for (i = 1; i < NF; i++) if ($(i+1) == "ns/op") print $i}')
+        if [ -z "$ns" ]; then
+            echo "ERROR: benchmark produced no ns/op" >&2
+            exit 1
+        fi
+        echo "  run $i: $ns ns/op"
+        if [ -z "$best" ] || awk "BEGIN{exit !($ns < $best)}"; then
+            best=$ns
+        fi
+    done
+    if awk "BEGIN{exit !($best > $base * (1 + $guard_pct / 100))}"; then
+        echo "ERROR: BenchmarkFig2RouterUsage regressed: best $best ns/op vs baseline $base" \
+            "(budget ${guard_pct}%)" >&2
+        exit 1
+    fi
+    echo "bench guard: best $best ns/op vs baseline $base — within ${guard_pct}%"
+fi
 
 echo "tier-1: OK"

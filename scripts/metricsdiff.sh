@@ -1,0 +1,12 @@
+#!/bin/sh
+# Diff two metrics-snapshot files (snackbench/snacksim -metrics output).
+# Thin wrapper over cmd/metricsdiff so the workflow in EXPERIMENTS.md is
+# copy-pasteable from anywhere:
+#
+#   scripts/metricsdiff.sh before.json after.json
+#   scripts/metricsdiff.sh -tol 1e-9 before.json after.json
+#
+# Exit status: 0 identical (within -tol), 1 differences, 2 usage/IO error.
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/metricsdiff "$@"
