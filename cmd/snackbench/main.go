@@ -31,6 +31,7 @@ func main() {
 	benchList := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 16)")
 	priority := flag.Bool("priority", true, "priority arbitration for co-run experiments")
 	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
+	shards := flag.Int("shards", 0, "simulation-kernel shards per mesh (<=1 = serial; results are identical for any value)")
 	printWorkers := flag.Bool("print-workers", false, "print the resolved sweep worker count and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -39,6 +40,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write metrics snapshots of every simulation to this file (.csv for CSV)")
 	flag.Parse()
 	experiments.SetWorkers(*jobs)
+	experiments.SetShards(*shards)
 	if *printWorkers {
 		fmt.Println(experiments.Workers())
 		return

@@ -36,6 +36,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "benchmark instruction-budget scale")
 	priority := flag.Bool("priority", true, "priority arbitration (snack runs)")
 	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
+	shards := flag.Int("shards", 0, "simulation-kernel shards per mesh (<=1 = serial; results are identical for any value)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the simulation to this file")
@@ -43,6 +44,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write metrics snapshots to this file (.csv for CSV)")
 	flag.Parse()
 	experiments.SetWorkers(*jobs)
+	experiments.SetShards(*shards)
 	if *traceLast > 0 && *tracePath == "" {
 		fatalf("-trace-last requires -trace")
 	}
@@ -147,6 +149,7 @@ func runKernel(name string, w, h int, priority bool) {
 	}
 	eng := sim.NewEngine()
 	pc := core.DefaultPlatformConfig()
+	pc.Shards = experiments.Shards()
 	plat, err := core.NewStandalone(eng, w, h, priority, pc)
 	if err != nil {
 		fatalf("%v", err)

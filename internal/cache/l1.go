@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"snacknoc/internal/noc"
+	"snacknoc/internal/sim"
 	"snacknoc/internal/stats"
 )
 
@@ -25,8 +26,12 @@ type retryReq struct {
 // controller resolves hits locally after L1HitLat cycles and misses via
 // the block's home L2 bank over the NoC.
 type L1 struct {
-	sys   *System
-	node  int
+	sys  *System
+	node int
+	// eng is the engine of the shard this node lives on; all L1 events
+	// must be scheduled here so sharded runs never touch the root wheel
+	// from a shard goroutine.
+	eng   *sim.Engine
 	cache *Cache
 	mshrs map[uint64]*mshr
 
@@ -40,6 +45,7 @@ func newL1(sys *System, node int) *L1 {
 	return &L1{
 		sys:   sys,
 		node:  node,
+		eng:   sys.Net.EngFor(noc.NodeID(node)),
 		cache: NewCache(sys.cfg.L1Bytes, sys.cfg.L1Ways),
 		mshrs: make(map[uint64]*mshr),
 	}
@@ -72,8 +78,8 @@ func (l *L1) Access(block uint64, write bool, done func(cycle int64)) bool {
 	if hit, _ := l.cache.Lookup(block, write); hit {
 		l.hits.Inc()
 		if done != nil {
-			l.sys.Eng.ScheduleAfter(l.sys.cfg.L1HitLat, func() {
-				done(l.sys.Eng.Cycle())
+			l.eng.ScheduleAfter(l.sys.cfg.L1HitLat, func() {
+				done(l.eng.Cycle())
 			})
 		}
 		return true
@@ -94,7 +100,7 @@ func (l *L1) AccessFast(block uint64, write bool, onMiss func(cycle int64)) bool
 
 func (l *L1) missPath(block uint64, write bool, done func(cycle int64)) bool {
 	l.misses.Inc()
-	start := l.sys.Eng.Cycle()
+	start := l.eng.Cycle()
 	wrapped := func(cycle int64) {
 		l.latSum += cycle - start
 		l.latCount++
@@ -142,7 +148,7 @@ func (l *L1) handle(m *Msg, cycle int64) {
 		}
 		for _, r := range msh.retry {
 			r := r
-			l.sys.Eng.ScheduleAfter(1, func() {
+			l.eng.ScheduleAfter(1, func() {
 				l.Access(m.Block, r.write, r.done)
 			})
 		}

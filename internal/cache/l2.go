@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"snacknoc/internal/noc"
+	"snacknoc/internal/sim"
 	"snacknoc/internal/stats"
 )
 
@@ -27,8 +28,11 @@ type l2txn struct {
 // L2Bank is one slice of the shared distributed L2 plus the directory for
 // the blocks homed at this node.
 type L2Bank struct {
-	sys   *System
-	node  noc.NodeID
+	sys  *System
+	node noc.NodeID
+	// eng is the shard engine of the bank's node; lookup-latency events
+	// are scheduled here so sharded runs stay race-free.
+	eng   *sim.Engine
 	cache *Cache
 	dir   map[uint64]*dirEntry
 	txns  map[uint64]*l2txn
@@ -43,6 +47,7 @@ func newL2Bank(sys *System, node noc.NodeID) *L2Bank {
 	return &L2Bank{
 		sys:   sys,
 		node:  node,
+		eng:   sys.Net.EngFor(node),
 		cache: NewCache(sys.cfg.L2BankBytes, sys.cfg.L2Ways),
 		dir:   make(map[uint64]*dirEntry),
 		txns:  make(map[uint64]*l2txn),
@@ -139,8 +144,8 @@ func (b *L2Bank) handle(m *Msg, cycle int64) {
 func (b *L2Bank) start(m *Msg) {
 	b.txns[m.Block] = &l2txn{req: m}
 	block := m.Block
-	b.sys.Eng.ScheduleAfter(b.sys.cfg.L2Lat, func() {
-		b.advance(block, b.sys.Eng.Cycle())
+	b.eng.ScheduleAfter(b.sys.cfg.L2Lat, func() {
+		b.advance(block, b.eng.Cycle())
 	})
 }
 

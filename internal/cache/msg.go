@@ -94,16 +94,11 @@ func (m *Msg) vnet() int {
 	return noc.VNetReq
 }
 
-// send injects the message into the NoC.
+// send injects the message into the NoC through the pooled-envelope path
+// (the Packet wrapper is recycled by the source NI after flitization).
 func send(net *noc.Network, src, dst noc.NodeID, m *Msg, cycle int64) {
 	m.From = src
-	net.Inject(&noc.Packet{
-		Src:       src,
-		Dst:       dst,
-		VNet:      m.vnet(),
-		SizeBytes: m.bytes(),
-		Payload:   m,
-	}, cycle)
+	net.InjectMsg(src, dst, m.vnet(), m.bytes(), m, cycle)
 }
 
 // Hub is the single noc.Client at a node; it dispatches delivered

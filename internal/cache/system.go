@@ -40,6 +40,10 @@ func DefaultSystemConfig() SystemConfig {
 // System wires L1s, L2 banks and memory nodes onto a NoC: one L1 and one
 // L2 bank per node, memory controllers at the configured nodes, and one
 // Hub per node registered as the NoC client.
+//
+// Eng is the root engine driving the whole simulation. Each node-resident
+// controller schedules its events on the engine of the node's shard
+// (Net.EngFor), which is Eng itself when the network is unsharded.
 type System struct {
 	Eng *sim.Engine
 	Net *noc.Network
@@ -87,7 +91,7 @@ func NewSystem(eng *sim.Engine, net *noc.Network, cfg SystemConfig) (*System, er
 		s.Hubs[i] = &Hub{L1: s.L1s[i], L2: s.L2s[i]}
 	}
 	for _, mn := range s.memNodes {
-		ctrl, err := mem.New(eng, cfg.MemCfg)
+		ctrl, err := mem.New(net.EngFor(mn), cfg.MemCfg)
 		if err != nil {
 			return nil, err
 		}

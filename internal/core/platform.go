@@ -60,6 +60,11 @@ type PlatformConfig struct {
 	// Command-buffer streaming runs near full channel bandwidth, so
 	// sharing is an ablation, not the default.
 	ShareMemChannel bool
+	// Shards partitions the standalone mesh into that many column-slice
+	// sub-engines (noc.Config.Shards); 0 or 1 keeps the serial kernel.
+	// Only NewStandalone consults it — Attach/AttachToSystem run on
+	// whatever network the caller built.
+	Shards int
 }
 
 // DefaultPlatformConfig places the CPM at node 0 (a corner
@@ -93,11 +98,16 @@ type Platform struct {
 // NoC"): a fresh snack-enabled mesh with nothing but the SnackNoC
 // attached, and a private DDR3 channel for the CPM.
 func NewStandalone(eng *sim.Engine, width, height int, priority bool, cfg PlatformConfig) (*Platform, error) {
-	net, err := noc.New(eng, noc.SnackPlatform(width, height, priority))
+	nc := noc.SnackPlatform(width, height, priority)
+	nc.Shards = cfg.Shards
+	if nc.Shards > width {
+		nc.Shards = width
+	}
+	net, err := noc.New(eng, nc)
 	if err != nil {
 		return nil, err
 	}
-	ctrl, err := mem.New(eng, mem.DefaultConfig())
+	ctrl, err := mem.New(net.EngFor(cfg.CPM.Node), mem.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -164,10 +174,12 @@ func attach(eng *sim.Engine, net *noc.Network, rcuCfg RCUConfig, cpms []CPMConfi
 			cpm.SetPort(port)
 		}
 		p.RCUs[i] = rcu
-		eng.Register(rcu)
+		// Register on the node's shard engine: an RCU touches its router's
+		// compute port every cycle, which belongs to that shard.
+		net.EngFor(node).Register(rcu)
 	}
 	for _, cpm := range p.CPMs {
-		eng.Register(cpm)
+		net.EngFor(cpm.Node()).Register(cpm)
 	}
 	return p, nil
 }
@@ -189,7 +201,7 @@ func NewStandaloneMulti(eng *sim.Engine, width, height int, priority bool, rcu R
 	ctrls := make([]*mem.Controller, len(nodes))
 	for i, n := range nodes {
 		cfgs[i] = DefaultCPMConfig(n)
-		ctrls[i], err = mem.New(eng, mem.DefaultConfig())
+		ctrls[i], err = mem.New(net.EngFor(n), mem.DefaultConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -216,7 +228,7 @@ func AttachToSystem(eng *sim.Engine, sys *cache.System, cfg PlatformConfig) (*Pl
 	ctrl := mn.Controller()
 	if !cfg.ShareMemChannel {
 		var err error
-		ctrl, err = mem.New(eng, ctrl.Cfg())
+		ctrl, err = mem.New(sys.Net.EngFor(cfg.CPM.Node), ctrl.Cfg())
 		if err != nil {
 			return nil, err
 		}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"snacknoc/internal/cache"
+	"snacknoc/internal/noc"
 	"snacknoc/internal/sim"
 	"snacknoc/internal/traffic"
 )
@@ -149,7 +150,9 @@ type Workload struct {
 }
 
 // NewWorkload creates one core per node of the system, all running the
-// given profile, and registers them with the engine.
+// given profile. Each core registers on the engine of the shard its node
+// belongs to — a core drives its private L1 every cycle, so on a sharded
+// network it must evaluate inside that shard's goroutine.
 func NewWorkload(eng *sim.Engine, sys *cache.System, prof *traffic.Profile, seed uint64) (*Workload, error) {
 	if err := prof.Validate(); err != nil {
 		return nil, err
@@ -158,7 +161,7 @@ func NewWorkload(eng *sim.Engine, sys *cache.System, prof *traffic.Profile, seed
 	w := &Workload{Profile: prof, Cores: make([]*Core, n)}
 	for i := 0; i < n; i++ {
 		w.Cores[i] = NewCore(i, prof, sys.L1s[i], n, seed)
-		eng.Register(w.Cores[i])
+		sys.Net.EngFor(noc.NodeID(i)).Register(w.Cores[i])
 	}
 	return w, nil
 }

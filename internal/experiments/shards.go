@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"sync"
+
+	"snacknoc/internal/core"
+	"snacknoc/internal/noc"
+)
+
+// Shard fan-out for the simulation kernel itself, orthogonal to the
+// per-cell sweep parallelism of SetWorkers: every network an experiment
+// builds is partitioned into this many column-slice sub-engines
+// (noc.Config.Shards). Simulated behaviour is identical for every value
+// — the equivalence tests pin figures byte-for-byte across shard counts
+// — so this only trades synchronization overhead against intra-run
+// parallelism.
+
+var (
+	shardsMu sync.Mutex
+	shards   int // <= 1 = serial kernel
+)
+
+// SetShards sets the intra-simulation shard count applied to every
+// network built by the experiment runners. n <= 1 restores the serial
+// kernel. Counts wider than a mesh are clamped per run.
+func SetShards(n int) {
+	shardsMu.Lock()
+	defer shardsMu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	shards = n
+}
+
+// Shards returns the configured intra-simulation shard count.
+func Shards() int {
+	shardsMu.Lock()
+	defer shardsMu.Unlock()
+	return shards
+}
+
+// applyShards returns cfg with the configured shard count set, copying
+// the config so shared presets (noc.DAPPER, noc.SnackPlatform results
+// reused across cells) are never mutated. Counts are clamped to the
+// mesh width, the maximum number of column slices.
+func applyShards(cfg *noc.Config) *noc.Config {
+	s := Shards()
+	if s <= 1 {
+		return cfg
+	}
+	if s > cfg.Width {
+		s = cfg.Width
+	}
+	if cfg.Shards == s {
+		return cfg
+	}
+	cp := *cfg
+	cp.Shards = s
+	return &cp
+}
+
+// platformCfg is core.DefaultPlatformConfig plus the configured shard
+// count, for the runners that build standalone platforms.
+func platformCfg() core.PlatformConfig {
+	pc := core.DefaultPlatformConfig()
+	pc.Shards = Shards()
+	return pc
+}

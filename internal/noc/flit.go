@@ -45,6 +45,9 @@ type Packet struct {
 	Loop bool
 	// InjectCycle is stamped by the network interface at injection.
 	InjectCycle int64
+	// pooled marks a packet owned by its source NI's free list (created
+	// by Network.InjectMsg); the NI recycles it after flitization.
+	pooled bool
 }
 
 // Flit is the atomic transfer unit; one flit crosses one link per cycle.
@@ -81,12 +84,13 @@ func (f *Flit) String() string {
 }
 
 // flitPool recycles Flit objects and flitization scratch slices within
-// one network. Every simulation runs on a single goroutine (parallelism
-// in this repository is per-engine, never intra-engine), so a plain
-// free-list needs no locking and — unlike sync.Pool — is fully
-// deterministic. Flits are returned when they leave the network: consumed
-// by a compute unit, drained into the CPM overflow path, or reassembled
-// at an ejection NI.
+// one shard of a network (the whole network when unsharded). Each shard
+// runs on at most one goroutine at a time, so a plain free-list needs no
+// locking and — unlike sync.Pool — is fully deterministic. A flit that
+// crosses a shard boundary retires into the destination shard's pool;
+// put fully zeroes the flit, so the migration is unobservable. Flits are
+// returned when they leave the network: consumed by a compute unit,
+// drained into the CPM overflow path, or reassembled at an ejection NI.
 type flitPool struct {
 	flits  []*Flit
 	slices [][]*Flit

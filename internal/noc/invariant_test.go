@@ -58,13 +58,14 @@ func TestCreditConservation(t *testing.T) {
 			if out == nil || d == Local {
 				continue // ejection credits are modeled as unbounded
 			}
-			for v := range out.credits {
-				for c, credit := range out.credits[v] {
-					if credit != cfg.VNets[v].BufDepth {
+			for v := range cfg.VNets {
+				for c := int32(0); c < r.nvcOf[v]; c++ {
+					slot := r.vnetOff[v] + c
+					if out.credits[slot] != int32(cfg.VNets[v].BufDepth) {
 						t.Errorf("%s out %s vnet %d vc %d: %d credits, want %d",
-							r.Name(), d, v, c, credit, cfg.VNets[v].BufDepth)
+							r.Name(), d, v, c, out.credits[slot], cfg.VNets[v].BufDepth)
 					}
-					if out.vcBusy[v][c] {
+					if out.busy&(1<<uint(slot)) != 0 {
 						t.Errorf("%s out %s vnet %d vc %d still busy after drain", r.Name(), d, v, c)
 					}
 				}

@@ -15,44 +15,79 @@ type Network struct {
 	routers []*Router
 	nis     []*NI
 	loop    *LoopRoute
-	// pool recycles flits network-wide. Each network lives on exactly one
-	// goroutine (sweep parallelism is per-engine), so the free-list is
-	// lock-free and deterministic.
-	pool flitPool
+	// pools recycle flits per shard (one pool for the whole network when
+	// unsharded). Each shard lives on exactly one goroutine at a time, so
+	// the free-lists are lock-free; flits migrating between shards are
+	// fully zeroed on release, keeping recycling deterministic and
+	// unobservable.
+	pools []flitPool
 
-	nextPktID uint64
+	// root is the engine handed to New; engs[s] is the engine driving
+	// shard s (engs[0] == root when unsharded) and shardOf maps a node to
+	// its shard (column slices: shard = x*Shards/Width).
+	root    *sim.Engine
+	engs    []*sim.Engine
+	shardOf []int
+
+	// flitB/credB are the cross-shard wire boundaries in construction
+	// order, drained by the barrier hook between cycles.
+	flitB []boundary[*Flit]
+	credB []boundary[creditMsg]
 }
 
 // New constructs the mesh described by cfg and registers every router and
-// network interface with the engine.
+// network interface with the engine (partitioning it into cfg.Shards
+// sub-engines first when sharding is requested).
 func New(eng *sim.Engine, cfg *Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := &Network{cfg: cfg}
+	n := &Network{cfg: cfg, root: eng}
 	nodes := cfg.Nodes()
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	n.engs = eng.Partition(shards)
+	n.pools = make([]flitPool, shards)
+	n.shardOf = make([]int, nodes)
+	for i := 0; i < nodes; i++ {
+		x, _ := cfg.XY(NodeID(i))
+		n.shardOf[i] = x * shards / cfg.Width
+	}
 	n.routers = make([]*Router, nodes)
 	n.nis = make([]*NI, nodes)
 	for i := 0; i < nodes; i++ {
 		n.routers[i] = newRouter(NodeID(i), cfg)
-		n.routers[i].pool = &n.pool
-		n.nis[i] = newNI(NodeID(i), cfg, &n.pool)
+		n.routers[i].pool = &n.pools[n.shardOf[i]]
+		n.nis[i] = newNI(NodeID(i), cfg, &n.pools[n.shardOf[i]])
 	}
 
 	// Mesh links: for each adjacent pair, create the downstream input
-	// port first, then mirror it at the upstream output.
+	// port first, then mirror it at the upstream output. A link whose
+	// endpoints live on different shards gets stub wires interposed on
+	// both writer sides (flits downstream, credits back upstream) so no
+	// shard ever touches another shard's wires mid-cycle.
+	link := func(up *Router, dir Direction, down *Router, rdir Direction) {
+		in := down.addInput(rdir, false)
+		up.addOutput(dir, in, false)
+		if n.shardOf[up.id] != n.shardOf[down.id] {
+			n.flitB = append(n.flitB, interpose(&up.outputs[dir].out))
+			n.credB = append(n.credB, interpose(&in.credit))
+		}
+	}
 	for y := 0; y < cfg.Height; y++ {
 		for x := 0; x < cfg.Width; x++ {
 			r := n.routers[cfg.Node(x, y)]
 			if x+1 < cfg.Width {
 				east := n.routers[cfg.Node(x+1, y)]
-				r.addOutput(East, east.addInput(West, false), false)
-				east.addOutput(West, r.addInput(East, false), false)
+				link(r, East, east, West)
+				link(east, West, r, East)
 			}
 			if y+1 < cfg.Height {
 				south := n.routers[cfg.Node(x, y+1)]
-				r.addOutput(South, south.addInput(North, false), false)
-				south.addOutput(North, r.addInput(South, false), false)
+				link(r, South, south, North)
+				link(south, North, r, South)
 			}
 		}
 	}
@@ -80,11 +115,34 @@ func New(eng *sim.Engine, cfg *Config) (*Network, error) {
 	}
 
 	for i := 0; i < nodes; i++ {
+		se := n.engs[n.shardOf[i]]
 		n.routers[i].finalize()
-		n.routers[i].setHandle(eng.Register(n.routers[i]))
-		n.nis[i].setHandle(eng.Register(n.nis[i]))
+		n.routers[i].setHandle(se.Register(n.routers[i]))
+		n.nis[i].setHandle(se.Register(n.nis[i]))
+	}
+	if shards > 1 {
+		eng.AtBarrier(n.exchange)
 	}
 	return n, nil
+}
+
+// exchange drains every cross-shard boundary — flits first, then the
+// credits flowing back — in construction order. It runs serially at the
+// per-cycle barrier, after all shard goroutines have finished the cycle.
+func (n *Network) exchange(int64) {
+	for i := range n.flitB {
+		n.flitB[i].drain()
+	}
+	for i := range n.credB {
+		n.credB[i].drain()
+	}
+}
+
+// EngFor returns the sub-engine driving the given node's shard. Components
+// co-located with a node (caches, cores, compute units) must register on
+// this engine so they evaluate on the same goroutine as the node's router.
+func (n *Network) EngFor(id NodeID) *sim.Engine {
+	return n.engs[n.shardOf[id]]
 }
 
 // Cfg returns the network configuration.
@@ -117,8 +175,7 @@ func (n *Network) AttachCompute(id NodeID, cu ComputeUnit) *InjectPort {
 	p := &InjectPort{
 		node:     id,
 		vnet:     n.cfg.SnackVNet,
-		net:      n,
-		pool:     &n.pool,
+		pool:     &n.pools[n.shardOf[id]],
 		out:      in.in,
 		creditIn: in.credit,
 		credits:  make([]int, n.cfg.VNets[n.cfg.SnackVNet].VCs),
@@ -131,20 +188,38 @@ func (n *Network) AttachCompute(id NodeID, cu ComputeUnit) *InjectPort {
 
 // Inject stamps and queues a packet at its source NI. The caller must be
 // in its Evaluate phase; the packet enters the network on a later cycle.
+//
+// Packet IDs are allocated per source node (node tag in the high half, a
+// local sequence number in the low), so the IDs a simulation assigns do not
+// depend on the global interleaving of injections — a requirement for
+// sharded runs to be byte-identical to serial ones.
 func (n *Network) Inject(p *Packet, cycle int64) {
 	if p.Src < 0 || int(p.Src) >= len(n.nis) {
 		panic(fmt.Sprintf("noc: inject from invalid node %d", p.Src))
 	}
-	n.nextPktID++
-	p.ID = n.nextPktID
+	p.ID = n.nis[p.Src].nextPktID()
 	p.InjectCycle = cycle
 	n.nis[p.Src].Inject(p, cycle)
 }
 
-// NewPacketID reserves a packet ID for directly injected compute flits.
-func (n *Network) NewPacketID() uint64 {
-	n.nextPktID++
-	return n.nextPktID
+// InjectMsg injects a protocol message without allocating: the Packet
+// envelope comes from the source NI's free list and is recycled once the
+// packet has been serialized into flits. Equivalent to Inject with a fresh
+// Packet, for callers that do not retain the envelope.
+func (n *Network) InjectMsg(src, dst NodeID, vnet, sizeBytes int, payload any, cycle int64) {
+	if src < 0 || int(src) >= len(n.nis) {
+		panic(fmt.Sprintf("noc: inject from invalid node %d", src))
+	}
+	ni := n.nis[src]
+	p := ni.getPacket()
+	p.Src = src
+	p.Dst = dst
+	p.VNet = vnet
+	p.SizeBytes = sizeBytes
+	p.Payload = payload
+	p.ID = ni.nextPktID()
+	p.InjectCycle = cycle
+	ni.Inject(p, cycle)
 }
 
 // EnableSampling turns on time-series sampling (crossbar and links) on
@@ -158,7 +233,15 @@ func (n *Network) EnableSampling(interval int64) {
 // SetTracer installs the lifecycle-event tracer on every router and
 // network interface (nil removes it). Tracing must be configured before
 // the run whose events are wanted; it does not alter simulated behavior.
+//
+// A tracer is shared mutable state, so on a sharded network installing one
+// drops the shard phase to serial execution (the decomposition and barrier
+// protocol — and hence the simulated behavior — are unchanged; only the
+// goroutine fan-out is suppressed).
 func (n *Network) SetTracer(t *trace.Tracer) {
+	if len(n.engs) > 1 {
+		n.root.SetSerialShards(t != nil)
+	}
 	for _, r := range n.routers {
 		r.SetTracer(t)
 	}
@@ -238,13 +321,17 @@ func (n *Network) MeshLinkUtils() map[string]float64 {
 type InjectPort struct {
 	node     NodeID
 	vnet     int
-	net      *Network
 	pool     *flitPool
 	out      *wire[*Flit]
 	creditIn *wire[creditMsg]
 	credits  []int
 	rr       int
+	seq      uint64
 }
+
+// injectPortTag distinguishes compute-port packet IDs from NI packet IDs,
+// which share the node-tag-plus-sequence layout (see Network.Inject).
+const injectPortTag = uint64(1) << 63
 
 // Node returns the node this port injects at.
 func (p *InjectPort) Node() NodeID { return p.node }
@@ -279,8 +366,9 @@ func (p *InjectPort) Send(dst NodeID, payload any, loop bool, cycle int64) bool 
 		}
 		p.credits[c]--
 		p.rr = c + 1
+		p.seq++
 		f := p.pool.get()
-		f.PacketID = p.net.NewPacketID()
+		f.PacketID = injectPortTag | uint64(p.node+1)<<32 | p.seq
 		f.Type = HeadTailFlit
 		f.Src = p.node
 		f.Dst = dst

@@ -10,6 +10,11 @@ import (
 
 // Client receives packets ejected at a node: a cache controller, memory
 // controller, traffic sink, or the SnackNoC Central Packet Manager.
+//
+// The delivered Packet is borrowed: it is valid only for the duration of
+// the Deliver call, after which the NI recycles it. Clients that need any
+// field past that point must copy it out (every in-tree client consumes
+// the packet synchronously).
 type Client interface {
 	Deliver(p *Packet, cycle int64)
 }
@@ -59,9 +64,17 @@ type NI struct {
 	// free lists for per-packet bookkeeping records
 	txnFree   []*txn
 	reasmFree []*reasmState
+	// pktFree recycles Packet envelopes for Network.InjectMsg; packets
+	// injected directly through Inject stay caller-owned and never enter
+	// this list.
+	pktFree []*Packet
 
 	client Client
 	reasm  map[uint64]*reasmState
+
+	// pktSeq numbers packets injected at this node; combined with the node
+	// tag it forms globally unique, interleaving-independent packet IDs.
+	pktSeq uint64
 
 	// statistics
 	injected  stats.Counter
@@ -76,8 +89,11 @@ type NI struct {
 	tr *trace.Tracer
 }
 
+// reasmState tracks one packet mid-reassembly. The Packet is embedded by
+// value so ejection never allocates: Deliver hands the client &pkt under
+// the borrow contract documented on Client, then the record is recycled.
 type reasmState struct {
-	pkt  *Packet
+	pkt  Packet
 	seen int
 }
 
@@ -96,6 +112,24 @@ func newNI(node NodeID, cfg *Config, pool *flitPool) *NI {
 
 // Name implements sim.Component.
 func (ni *NI) Name() string { return fmt.Sprintf("ni%d", ni.node) }
+
+// nextPktID allocates the next packet ID injected at this node: the node
+// tag (+1, so node 0 yields nonzero IDs) in bits 32..62 and a local
+// sequence number in the low 32. Bit 63 is reserved for compute-port IDs.
+func (ni *NI) nextPktID() uint64 {
+	ni.pktSeq++
+	return uint64(ni.node+1)<<32 | ni.pktSeq
+}
+
+// getPacket returns a zeroed pool-owned Packet envelope (see InjectMsg).
+func (ni *NI) getPacket() *Packet {
+	if n := len(ni.pktFree); n > 0 {
+		p := ni.pktFree[n-1]
+		ni.pktFree = ni.pktFree[:n-1]
+		return p
+	}
+	return &Packet{pooled: true}
+}
 
 // connect wires the NI to its router's local input port.
 func (ni *NI) connect(local *inputPort) {
@@ -193,9 +227,14 @@ func (ni *NI) Evaluate(cycle int64) {
 		ni.creditIn.pending() == 0 && ni.fromRouter.pending() == 0 {
 		return
 	}
-	ni.creditIn.drainReady(cycle, func(msg creditMsg) {
-		ni.credits[msg.vnet][msg.vc]++
-	})
+	if q := ni.creditIn.q; len(q) > 0 && q[0].arrive <= cycle {
+		n := 0
+		for n < len(q) && q[n].arrive <= cycle {
+			ni.credits[q[n].v.vnet][q[n].v.vc]++
+			n++
+		}
+		ni.creditIn.q = append(q[:0], q[n:]...)
+	}
 
 	// Stage newly injected packets (only those issued on earlier cycles).
 	keep := ni.incoming[:0]
@@ -233,6 +272,11 @@ func (ni *NI) Evaluate(cycle int64) {
 			for _, f := range flits {
 				f.VC = c
 			}
+			if p.pooled {
+				// The envelope's contents now live in the flits; recycle it.
+				*p = Packet{pooled: true}
+				ni.pktFree = append(ni.pktFree, p)
+			}
 			ni.active = append(ni.active, ni.newTxn(flits, v, c))
 			break
 		}
@@ -267,8 +311,17 @@ func (ni *NI) Evaluate(cycle int64) {
 		}
 	}
 
-	// Ejection: reassemble arriving flits into packets.
-	ni.fromRouter.drainReady(cycle, func(f *Flit) {
+	// Ejection: reassemble arriving flits into packets. The wire walk is
+	// hand-rolled (not drainReady) to keep the per-flit closure call off
+	// the delivery path.
+	q := ni.fromRouter.q
+	if len(q) == 0 || q[0].arrive > cycle {
+		return
+	}
+	drained := 0
+	for drained < len(q) && q[drained].arrive <= cycle {
+		f := q[drained].v
+		drained++
 		ni.flitsIn.Inc()
 		if ni.tr != nil {
 			rec := ni.pktRecord(trace.KindEject, cycle, cycle, f.PacketID, f.VNet)
@@ -287,25 +340,30 @@ func (ni *NI) Evaluate(cycle int64) {
 		}
 		st.seen++
 		done := st.seen == f.PktFlits
-		vnet, inject := f.VNet, f.InjectCycle
+		// Capture the coordinates needed below before the flit is recycled
+		// (put zeroes it). The old code read f.PacketID after put, so the
+		// reassembly record was never actually deleted from the map — one
+		// leaked entry per delivered packet — and deliver-trace records
+		// carried packet ID 0.
+		pktID, vnet, inject := f.PacketID, f.VNet, f.InjectCycle
 		ni.pool.put(f)
 		if done {
-			delete(ni.reasm, f.PacketID)
+			delete(ni.reasm, pktID)
 			ni.ejected.Inc()
 			ni.latSum[vnet] += cycle - inject
 			ni.latCount[vnet]++
 			if ni.tr != nil {
 				// Packet-lifetime span: injection to delivery.
-				ni.tr.Emit(ni.pktRecord(trace.KindDeliver, cycle, inject, f.PacketID, vnet))
+				ni.tr.Emit(ni.pktRecord(trace.KindDeliver, cycle, inject, pktID, vnet))
 			}
-			pkt := st.pkt
-			st.pkt = nil
-			ni.reasmFree = append(ni.reasmFree, st)
 			if ni.client != nil {
-				ni.client.Deliver(pkt, cycle)
+				ni.client.Deliver(&st.pkt, cycle)
 			}
+			st.pkt = Packet{}
+			ni.reasmFree = append(ni.reasmFree, st)
 		}
-	})
+	}
+	ni.fromRouter.q = append(q[:0], q[drained:]...)
 }
 
 // Advance pushes the staged flit onto the local link.
@@ -343,8 +401,8 @@ func (ni *NI) newTxn(flits []*Flit, vnet, vc int) *txn {
 }
 
 // newReasm builds a reassembly record for the packet f opens, reusing a
-// retired record when available. The Packet itself is always fresh:
-// clients own delivered packets and may retain them.
+// retired record when available. The embedded Packet is reused too — it is
+// only ever borrowed by the client during Deliver (see Client).
 func (ni *NI) newReasm(f *Flit) *reasmState {
 	var st *reasmState
 	if n := len(ni.reasmFree); n > 0 {
@@ -354,13 +412,11 @@ func (ni *NI) newReasm(f *Flit) *reasmState {
 	} else {
 		st = &reasmState{}
 	}
-	st.pkt = &Packet{
-		ID:          f.PacketID,
-		Src:         f.Src,
-		Dst:         f.Dst,
-		VNet:        f.VNet,
-		InjectCycle: f.InjectCycle,
-	}
+	st.pkt.ID = f.PacketID
+	st.pkt.Src = f.Src
+	st.pkt.Dst = f.Dst
+	st.pkt.VNet = f.VNet
+	st.pkt.InjectCycle = f.InjectCycle
 	return st
 }
 

@@ -97,6 +97,14 @@ type Config struct {
 
 	// ComputePort adds the RCU injection input port to every router.
 	ComputePort bool
+
+	// Shards partitions the mesh into that many column slices, each driven
+	// by its own sub-engine and synchronized at per-cycle barriers (the
+	// credit return path's one-cycle latency is the conservative-sync
+	// lookahead). 0 or 1 keeps the classic single-engine kernel. Simulated
+	// behaviour — figures, metrics, arbitration — is identical for every
+	// value; see DESIGN.md §9.
+	Shards int
 }
 
 // Nodes returns the node count.
@@ -119,11 +127,18 @@ func (c *Config) Validate() error {
 	if len(c.VNets) == 0 {
 		return fmt.Errorf("noc: at least one virtual network required")
 	}
+	totVC := 0
 	for i, v := range c.VNets {
 		if v.VCs < 1 || v.BufDepth < 1 {
 			return fmt.Errorf("noc: vnet %d (%s) needs >=1 VC and >=1 buffer, got %d/%d",
 				i, v.Name, v.VCs, v.BufDepth)
 		}
+		totVC += v.VCs
+	}
+	if totVC > 64 {
+		// Router output-VC state packs one busy bit per (vnet, vc) slot
+		// into a single word.
+		return fmt.Errorf("noc: at most 64 total VCs per port, got %d", totVC)
 	}
 	if c.SnackVNet >= len(c.VNets) {
 		return fmt.Errorf("noc: snack vnet %d out of range", c.SnackVNet)
@@ -134,6 +149,10 @@ func (c *Config) Validate() error {
 	if c.SnackVNet >= 0 && c.Width%2 != 0 && c.Height%2 != 0 {
 		return fmt.Errorf("noc: transient-data loop route needs an even mesh dimension, got %dx%d",
 			c.Width, c.Height)
+	}
+	if c.Shards < 0 || c.Shards > c.Width {
+		return fmt.Errorf("noc: shards must be between 0 and the mesh width %d, got %d",
+			c.Width, c.Shards)
 	}
 	return nil
 }

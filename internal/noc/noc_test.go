@@ -6,14 +6,16 @@ import (
 	"snacknoc/internal/sim"
 )
 
-// sink records delivered packets.
+// sink records delivered packets (copied out: delivered packets are only
+// borrowed for the duration of the Deliver call).
 type sink struct {
 	got []*Packet
 	at  []int64
 }
 
 func (s *sink) Deliver(p *Packet, cycle int64) {
-	s.got = append(s.got, p)
+	cp := *p
+	s.got = append(s.got, &cp)
 	s.at = append(s.at, cycle)
 }
 

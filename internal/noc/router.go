@@ -34,7 +34,7 @@ type LoopDrainer interface {
 }
 
 // vcState tracks the wormhole state machine of one input virtual channel.
-type vcState int
+type vcState int8
 
 const (
 	vcIdle   vcState = iota // no packet, or waiting for a head flit
@@ -50,60 +50,58 @@ const (
 	classSnack = 1
 )
 
-// inputVC is one virtual-channel buffer on an input port.
+// inputVC is one virtual-channel buffer on an input port. All VCs of a
+// router live contiguously in Router.vcs (indexed port-major, then vnet,
+// then vc) and their flit queues are fixed rings over the shared
+// Router.bufSlab, so the per-cycle allocator loops walk flat arrays
+// instead of chasing a per-port pointer forest.
 type inputVC struct {
-	q       []*Flit
 	state   vcState
-	outPort Direction
-	outVC   int
-	refIdx  int // index into Router.refs
+	class   int8
+	port    Direction // owning input port
+	outPort Direction // routed output (valid from vcWaitVA on)
+	vnet    int16
+	vc      int16
+	outVC   int32 // granted output VC (valid in vcActive)
+
+	// ring queue over Router.bufSlab[base : base+depth]
+	head  int32 // offset of the front flit, in [0, depth)
+	count int32
+	base  int32
+	depth int32
+
 	// arrived counts flits ever buffered here, the per-VC occupancy
 	// attribution exported through the metrics registry.
 	arrived int64
 }
 
-// popFront dequeues the head flit while preserving the queue's backing
-// array. The naive q = q[1:] strands one slot of capacity per pop, forcing
-// append to reallocate the buffer once per flit — the second-largest
-// allocation site in whole-sweep profiles before this was fixed.
-func (v *inputVC) popFront() *Flit {
-	f := v.q[0]
-	n := len(v.q) - 1
-	copy(v.q, v.q[1:])
-	v.q[n] = nil
-	v.q = v.q[:n]
-	return f
-}
-
 // inputPort groups the VCs fed by one incoming link.
 type inputPort struct {
-	dir    Direction
-	in     *wire[*Flit]     // flits from the upstream sender
-	credit *wire[creditMsg] // credits back to the upstream sender
-	vcs    [][]*inputVC     // [vnet][vc]
+	dir       Direction
+	in        *wire[*Flit]     // flits from the upstream sender
+	credit    *wire[creditMsg] // credits back to the upstream sender
+	snackOnly bool
+	// refBase[v] is the Router.vcs index of this port's (v, 0) VC, or -1
+	// when the port does not carry vnet v. Built by finalize.
+	refBase []int32
 }
 
-// outputPort tracks downstream buffer state for one outgoing link.
+// outputPort tracks downstream buffer state for one outgoing link. Credit
+// and busy state is flat: slot vnetOff[v]+c within the per-port arrays,
+// with busy bits packed into one word (Config.Validate bounds the total
+// VC count per port to 64).
 type outputPort struct {
-	dir     Direction
-	out     *wire[*Flit]     // flits to the downstream receiver
-	credit  *wire[creditMsg] // credits from the downstream receiver
-	credits [][]int          // [vnet][vc] free downstream slots
-	vcBusy  [][]bool         // [vnet][vc] held by an in-flight packet
-	vcRR    []int            // per-vnet round-robin pointer for output-VC allocation
-	staged  *Flit            // flit leaving on this port, committed in Advance
+	dir      Direction
+	out      *wire[*Flit]     // flits to the downstream receiver
+	credit   *wire[creditMsg] // credits from the downstream receiver
+	ejection bool
+	credits  []int32 // [vnetOff[v]+c] free downstream slots
+	busy     uint64  // bit vnetOff[v]+c: held by an in-flight packet
+	vcRR     []int32 // per-vnet round-robin pointer for output-VC allocation
+	staged   *Flit   // flit leaving on this port, committed in Advance
 
 	util   stats.Utilization
 	series *stats.TimeSeries
-}
-
-// vcRef flattens (port, vnet, vc) for allocator bookkeeping.
-type vcRef struct {
-	port  Direction
-	vnet  int
-	vc    int
-	class int
-	ivc   *inputVC
 }
 
 // Router is one mesh router: input VC buffers, XY route computation,
@@ -130,11 +128,21 @@ type Router struct {
 	compute ComputeUnit
 	drainer LoopDrainer // compute's drain hook, cached off the hot path
 	loop    *LoopRoute
-	pool    *flitPool // network-wide flit free-list (nil in bare unit tests)
+	pool    *flitPool // shard-local flit free-list (nil in bare unit tests)
 
-	refs []vcRef
+	// vcs is the flat input-VC table (see inputVC); bufSlab backs every
+	// VC's ring queue. Built by finalize.
+	vcs     []inputVC
+	bufSlab []*Flit
 
-	// allocator work lists (ref indices)
+	// vnetOff[v] is the first flat VC slot of vnet v on any port carrying
+	// the full vnet set; depthOf/nvcOf hoist the per-vnet geometry out of
+	// cfg for the per-cycle loops.
+	vnetOff []int32
+	depthOf []int32
+	nvcOf   []int32
+
+	// allocator work lists (indices into vcs)
 	needRoute []int
 	waitVA    []int
 	vaScratch []int
@@ -187,7 +195,18 @@ type stagedCredit struct {
 
 // newRouter builds a router shell; ports are wired by the Network.
 func newRouter(id NodeID, cfg *Config) *Router {
-	return &Router{id: id, cfg: cfg}
+	r := &Router{id: id, cfg: cfg}
+	r.vnetOff = make([]int32, len(cfg.VNets))
+	r.depthOf = make([]int32, len(cfg.VNets))
+	r.nvcOf = make([]int32, len(cfg.VNets))
+	off := int32(0)
+	for v, vn := range cfg.VNets {
+		r.vnetOff[v] = off
+		r.depthOf[v] = int32(vn.BufDepth)
+		r.nvcOf[v] = int32(vn.VCs)
+		off += int32(vn.VCs)
+	}
+	return r
 }
 
 // ID returns the router's node id.
@@ -196,24 +215,13 @@ func (r *Router) ID() NodeID { return r.id }
 // Name implements sim.Component.
 func (r *Router) Name() string { return fmt.Sprintf("router%d", r.id) }
 
-// addInput installs an input port with freshly allocated VC buffers.
+// addInput installs an input port; VC buffers are laid out by finalize.
 func (r *Router) addInput(dir Direction, snackOnly bool) *inputPort {
 	p := &inputPort{
-		dir:    dir,
-		in:     &wire[*Flit]{},
-		credit: &wire[creditMsg]{},
-		vcs:    make([][]*inputVC, len(r.cfg.VNets)),
-	}
-	for v, vn := range r.cfg.VNets {
-		if snackOnly && v != r.cfg.SnackVNet {
-			continue
-		}
-		p.vcs[v] = make([]*inputVC, vn.VCs)
-		for c := range p.vcs[v] {
-			// Pre-size each VC buffer to its full depth so the steady
-			// state never reallocates.
-			p.vcs[v][c] = &inputVC{q: make([]*Flit, 0, vn.BufDepth)}
-		}
+		dir:       dir,
+		in:        &wire[*Flit]{},
+		credit:    &wire[creditMsg]{},
+		snackOnly: snackOnly,
 	}
 	r.inputs[dir] = p
 	return p
@@ -222,24 +230,26 @@ func (r *Router) addInput(dir Direction, snackOnly bool) *inputPort {
 // addOutput installs an output port whose downstream buffers mirror the
 // given input port's geometry.
 func (r *Router) addOutput(dir Direction, downstream *inputPort, ejection bool) *outputPort {
-	p := &outputPort{
-		dir:     dir,
-		out:     downstream.in,
-		credit:  downstream.credit,
-		credits: make([][]int, len(r.cfg.VNets)),
-		vcBusy:  make([][]bool, len(r.cfg.VNets)),
-		vcRR:    make([]int, len(r.cfg.VNets)),
+	totVC := int32(0)
+	for _, n := range r.nvcOf {
+		totVC += n
 	}
-	for v, vn := range r.cfg.VNets {
-		p.credits[v] = make([]int, vn.VCs)
-		p.vcBusy[v] = make([]bool, vn.VCs)
-		for c := range p.credits[v] {
+	p := &outputPort{
+		dir:      dir,
+		out:      downstream.in,
+		credit:   downstream.credit,
+		ejection: ejection,
+		credits:  make([]int32, totVC),
+		vcRR:     make([]int32, len(r.cfg.VNets)),
+	}
+	for v := range r.cfg.VNets {
+		for c := int32(0); c < r.nvcOf[v]; c++ {
 			if ejection {
 				// Network interfaces sink flits as fast as they arrive;
 				// model their ejection buffers as unbounded.
-				p.credits[v][c] = 1 << 30
+				p.credits[r.vnetOff[v]+c] = 1 << 30
 			} else {
-				p.credits[v][c] = vn.BufDepth
+				p.credits[r.vnetOff[v]+c] = r.depthOf[v]
 			}
 		}
 	}
@@ -247,26 +257,42 @@ func (r *Router) addOutput(dir Direction, downstream *inputPort, ejection bool) 
 	return p
 }
 
-// finalize builds allocator bookkeeping; called once ports are wired.
+// finalize lays out the flat VC table and buffer slab and builds the
+// allocator bookkeeping; called once ports are wired.
 func (r *Router) finalize() {
+	slab := int32(0)
 	for d := Direction(0); d < numDirections; d++ {
 		in := r.inputs[d]
 		if in == nil {
 			continue
 		}
 		r.inList = append(r.inList, in)
-		for v := range in.vcs {
-			for c, ivc := range in.vcs[v] {
-				cl := classComm
-				if v == r.cfg.SnackVNet {
-					cl = classSnack
-				}
-				ivc.refIdx = len(r.refs)
-				r.refs = append(r.refs, vcRef{port: d, vnet: v, vc: c, class: cl, ivc: ivc})
-				r.bufSlots += r.cfg.VNets[v].BufDepth
+		in.refBase = make([]int32, len(r.cfg.VNets))
+		for v := range r.cfg.VNets {
+			if in.snackOnly && v != r.cfg.SnackVNet {
+				in.refBase[v] = -1
+				continue
+			}
+			in.refBase[v] = int32(len(r.vcs))
+			cl := int8(classComm)
+			if v == r.cfg.SnackVNet {
+				cl = classSnack
+			}
+			for c := int32(0); c < r.nvcOf[v]; c++ {
+				r.vcs = append(r.vcs, inputVC{
+					port:  d,
+					vnet:  int16(v),
+					vc:    int16(c),
+					class: cl,
+					base:  slab,
+					depth: r.depthOf[v],
+				})
+				slab += r.depthOf[v]
+				r.bufSlots += int(r.depthOf[v])
 			}
 		}
 	}
+	r.bufSlab = make([]*Flit, slab)
 	for d := Direction(0); d < numDirections; d++ {
 		if out := r.outputs[d]; out != nil {
 			r.outList = append(r.outList, out)
@@ -282,6 +308,34 @@ func (r *Router) finalize() {
 			r.bufBucket[occ] = int32(r.bufHist.BucketIndex(float64(occ) / float64(r.bufSlots)))
 		}
 	}
+}
+
+// front returns the flit at the head of a VC's ring queue.
+func (r *Router) front(v *inputVC) *Flit {
+	return r.bufSlab[v.base+v.head]
+}
+
+// popFront dequeues the head flit of a VC's ring queue.
+func (r *Router) popFront(v *inputVC) *Flit {
+	i := v.base + v.head
+	f := r.bufSlab[i]
+	r.bufSlab[i] = nil
+	v.head++
+	if v.head == v.depth {
+		v.head = 0
+	}
+	v.count--
+	return f
+}
+
+// pushBack enqueues a flit at the tail of a VC's ring queue.
+func (r *Router) pushBack(v *inputVC, f *Flit) {
+	i := v.head + v.count
+	if i >= v.depth {
+		i -= v.depth
+	}
+	r.bufSlab[v.base+i] = f
+	v.count++
 }
 
 // EnableSampling attaches a crossbar-usage time series with the given
@@ -403,12 +457,13 @@ func (r *Router) FreeOutputVCs(commOnly bool) int {
 		if out == nil {
 			continue
 		}
-		for v := range out.vcBusy {
+		for v := range r.cfg.VNets {
 			if commOnly && v == r.cfg.SnackVNet {
 				continue
 			}
-			for c := range out.vcBusy[v] {
-				if !out.vcBusy[v][c] && out.credits[v][c] > 0 {
+			off := r.vnetOff[v]
+			for c := int32(0); c < r.nvcOf[v]; c++ {
+				if out.busy&(1<<uint(off+c)) == 0 && out.credits[off+c] > 0 {
 					free++
 				}
 			}
@@ -446,10 +501,10 @@ func (r *Router) FreeSnackVCsToward(dst NodeID) int {
 }
 
 func (r *Router) freeSnackOn(out *outputPort) int {
-	v := r.cfg.SnackVNet
+	off := r.vnetOff[r.cfg.SnackVNet]
 	free := 0
-	for c := range out.vcBusy[v] {
-		if !out.vcBusy[v][c] && out.credits[v][c] > 0 {
+	for c := int32(0); c < r.nvcOf[r.cfg.SnackVNet]; c++ {
+		if out.busy&(1<<uint(off+c)) == 0 && out.credits[off+c] > 0 {
 			free++
 		}
 	}
@@ -504,21 +559,43 @@ func (r *Router) Advance(cycle int64) {
 	}
 }
 
+// ingestCredits drains ready credit returns on every output port. The wire
+// walk is hand-rolled (not drainReady) because the per-entry closure call
+// was a measurable slice of whole-figure profiles.
 func (r *Router) ingestCredits(cycle int64) {
 	for _, out := range r.outList {
-		out.credit.drainReady(cycle, func(msg creditMsg) {
-			out.credits[msg.vnet][msg.vc]++
-			if out.credits[msg.vnet][msg.vc] > r.cfg.VNets[msg.vnet].BufDepth {
+		q := out.credit.q
+		if len(q) == 0 || q[0].arrive > cycle {
+			continue
+		}
+		n := 0
+		for n < len(q) && q[n].arrive <= cycle {
+			msg := q[n].v
+			slot := r.vnetOff[msg.vnet] + int32(msg.vc)
+			out.credits[slot]++
+			if out.credits[slot] > r.depthOf[msg.vnet] {
 				panic(fmt.Sprintf("%s: credit overflow on %s vnet %d vc %d",
 					r.Name(), out.dir, msg.vnet, msg.vc))
 			}
-		})
+			n++
+		}
+		out.credit.q = append(q[:0], q[n:]...)
 	}
 }
 
+// ingestArrivals drains ready flits on every input port into their VC
+// rings, running the compute OnArrival hook first. Hand-rolled for the
+// same reason as ingestCredits.
 func (r *Router) ingestArrivals(cycle int64) {
 	for _, in := range r.inList {
-		in.in.drainReady(cycle, func(f *Flit) {
+		q := in.in.q
+		if len(q) == 0 || q[0].arrive > cycle {
+			continue
+		}
+		n := 0
+		for n < len(q) && q[n].arrive <= cycle {
+			f := q[n].v
+			n++
 			if f.VNet == r.snackVNet && f.Dst == r.id && r.compute != nil {
 				if r.compute.OnArrival(f, cycle) {
 					// Consumed before buffering: the reserved slot is
@@ -530,7 +607,7 @@ func (r *Router) ingestArrivals(cycle int64) {
 					r.stagedCredits = append(r.stagedCredits,
 						stagedCredit{port: in.dir, msg: creditMsg{vnet: f.VNet, vc: f.VC}})
 					r.pool.put(f)
-					return
+					continue
 				}
 				if f.Loop {
 					// Transient token continues to the next loop node.
@@ -538,12 +615,13 @@ func (r *Router) ingestArrivals(cycle int64) {
 				}
 			}
 			f.eligibleAt = cycle + r.routerLatM1
-			ivc := in.vcs[f.VNet][f.VC]
-			if len(ivc.q) >= r.cfg.VNets[f.VNet].BufDepth {
+			idx := int(in.refBase[f.VNet]) + f.VC
+			ivc := &r.vcs[idx]
+			if ivc.count >= ivc.depth {
 				panic(fmt.Sprintf("%s: input VC overflow %s vnet %d vc %d (%s)",
 					r.Name(), in.dir, f.VNet, f.VC, f))
 			}
-			ivc.q = append(ivc.q, f)
+			r.pushBack(ivc, f)
 			ivc.arrived++
 			r.occupancy++
 			if r.tr != nil {
@@ -552,19 +630,20 @@ func (r *Router) ingestArrivals(cycle int64) {
 			}
 			if ivc.state == vcIdle {
 				ivc.state = vcRoute
-				r.needRoute = append(r.needRoute, ivc.refIdx)
+				r.needRoute = append(r.needRoute, idx)
 			}
-		})
+		}
+		in.in.q = append(q[:0], q[n:]...)
 	}
 }
 
 func (r *Router) routeCompute(cycle int64) {
 	for _, idx := range r.needRoute {
-		ivc := r.refs[idx].ivc
-		if ivc.state != vcRoute || len(ivc.q) == 0 {
+		ivc := &r.vcs[idx]
+		if ivc.state != vcRoute || ivc.count == 0 {
 			panic(fmt.Sprintf("%s: route work-list entry in state %d", r.Name(), ivc.state))
 		}
-		head := ivc.q[0]
+		head := r.front(ivc)
 		if !head.IsHead() {
 			panic(fmt.Sprintf("%s: non-head flit %s at head of routing VC", r.Name(), head))
 		}
@@ -607,24 +686,23 @@ func (r *Router) allocateVCs(cycle int64) {
 // it an output VC, or leave it waiting. It reports whether the entry left
 // the wait list (drained or granted).
 func (r *Router) tryAllocVC(idx int, cycle int64) bool {
-	ref := &r.refs[idx]
-	ivc := ref.ivc
-	if r.drainer != nil && ref.vnet == r.snackVNet && ivc.q[0].Loop &&
-		r.drainer.DrainLoopFlit(ivc.q[0], cycle) {
+	ivc := &r.vcs[idx]
+	if r.drainer != nil && int(ivc.vnet) == r.snackVNet && r.front(ivc).Loop &&
+		r.drainer.DrainLoopFlit(r.front(ivc), cycle) {
 		// Absorbed into the CPM's overflow buffer: free the slot.
-		f := ivc.popFront()
+		f := r.popFront(ivc)
 		r.occupancy--
 		r.consumed.Inc()
 		if r.tr != nil {
-			r.tr.Emit(r.flitRecord(trace.KindDrain, cycle, cycle, f, ref.port))
+			r.tr.Emit(r.flitRecord(trace.KindDrain, cycle, cycle, f, ivc.port))
 		}
 		r.stagedCredits = append(r.stagedCredits,
-			stagedCredit{port: ref.port, msg: creditMsg{vnet: ref.vnet, vc: ref.vc}})
+			stagedCredit{port: ivc.port, msg: creditMsg{vnet: int(ivc.vnet), vc: int(ivc.vc)}})
 		if !f.IsTail() {
 			panic(fmt.Sprintf("%s: drained a multi-flit loop packet", r.Name()))
 		}
 		r.pool.put(f)
-		if len(ivc.q) > 0 {
+		if ivc.count > 0 {
 			ivc.state = vcRoute
 			r.needRoute = append(r.needRoute, idx)
 		} else {
@@ -632,22 +710,23 @@ func (r *Router) tryAllocVC(idx int, cycle int64) bool {
 		}
 		return true
 	}
-	if ivc.q[0].eligibleAt > cycle {
+	if r.front(ivc).eligibleAt > cycle {
 		return false
 	}
 	out := r.outputs[ivc.outPort]
-	vn := ref.vnet
-	nvc := len(out.vcBusy[vn])
-	for j := 0; j < nvc; j++ {
+	vn := int(ivc.vnet)
+	off := r.vnetOff[vn]
+	nvc := r.nvcOf[vn]
+	for j := int32(0); j < nvc; j++ {
 		c := (out.vcRR[vn] + j) % nvc
-		if !out.vcBusy[vn][c] {
-			out.vcBusy[vn][c] = true
+		if out.busy&(1<<uint(off+c)) == 0 {
+			out.busy |= 1 << uint(off+c)
 			out.vcRR[vn] = c + 1
 			ivc.outVC = c
 			ivc.state = vcActive
-			r.addSACand(ivc.outPort, ref.class, idx)
+			r.addSACand(ivc.outPort, int(ivc.class), idx)
 			if r.tr != nil {
-				rec := r.flitRecord(trace.KindVCAlloc, cycle, cycle, ivc.q[0], ivc.outPort)
+				rec := r.flitRecord(trace.KindVCAlloc, cycle, cycle, r.front(ivc), ivc.outPort)
 				rec.VC = int8(c)
 				r.tr.Emit(rec)
 			}
@@ -708,27 +787,26 @@ func (r *Router) allocateSwitch(cycle int64) int {
 // output d, handling credits, VC release, and statistics.
 func (r *Router) traverse(d Direction, win int, cycle int64, granted *[numDirections]bool) {
 	out := r.outputs[d]
-	ref := &r.refs[win]
-	ivc := ref.ivc
-	f := ivc.popFront()
+	ivc := &r.vcs[win]
+	f := r.popFront(ivc)
 	r.occupancy--
-	r.classMoves[ref.class].Inc()
+	r.classMoves[ivc.class].Inc()
 	if r.tr != nil {
 		rec := r.flitRecord(trace.KindSwitch, cycle, f.arrivedAt, f, d)
 		rec.VC = int8(ivc.outVC)
 		r.tr.Emit(rec)
 	}
-	f.VC = ivc.outVC
-	out.credits[ref.vnet][ivc.outVC]--
+	f.VC = int(ivc.outVC)
+	out.credits[r.vnetOff[ivc.vnet]+ivc.outVC]--
 	out.staged = f
 	r.stagedCount++
 	r.stagedCredits = append(r.stagedCredits,
-		stagedCredit{port: ref.port, msg: creditMsg{vnet: ref.vnet, vc: ref.vc}})
-	granted[ref.port] = true
+		stagedCredit{port: ivc.port, msg: creditMsg{vnet: int(ivc.vnet), vc: int(ivc.vc)}})
+	granted[ivc.port] = true
 	if f.IsTail() {
-		out.vcBusy[ref.vnet][ivc.outVC] = false
-		r.removeSACand(d, ref.class, win)
-		if len(ivc.q) > 0 {
+		out.busy &^= 1 << uint(r.vnetOff[ivc.vnet]+ivc.outVC)
+		r.removeSACand(d, int(ivc.class), win)
+		if ivc.count > 0 {
 			// The next packet's head is already queued.
 			ivc.state = vcRoute
 			r.needRoute = append(r.needRoute, win)
@@ -742,7 +820,7 @@ func (r *Router) traverse(d Direction, win int, cycle int64, granted *[numDirect
 	}
 }
 
-// pickSwitchWinner selects the input VC (by ref index) that wins output
+// pickSwitchWinner selects the input VC (by vcs index) that wins output
 // port d this cycle under plain (non-priority) arbitration, honouring
 // round-robin fairness, credit availability, and the one-flit-per-input-
 // port crossbar constraint. It returns -1 when no candidate is ready.
@@ -784,21 +862,20 @@ func (r *Router) scanCand(cand []int, start int, d Direction, cycle int64, grant
 	return -1
 }
 
-// saOK checks whether the VC at ref index idx can traverse toward output
+// saOK checks whether the VC at vcs index idx can traverse toward output
 // d this cycle.
 func (r *Router) saOK(idx int, d Direction, cycle int64, granted *[numDirections]bool) bool {
-	ref := &r.refs[idx]
-	ivc := ref.ivc
-	if ivc.state != vcActive || ivc.outPort != d || len(ivc.q) == 0 {
+	ivc := &r.vcs[idx]
+	if ivc.state != vcActive || ivc.outPort != d || ivc.count == 0 {
 		return false
 	}
-	if granted[ref.port] {
+	if granted[ivc.port] {
 		return false
 	}
-	if ivc.q[0].eligibleAt > cycle {
+	if r.front(ivc).eligibleAt > cycle {
 		return false
 	}
-	return r.outputs[d].credits[ref.vnet][ivc.outVC] > 0
+	return r.outputs[d].credits[r.vnetOff[ivc.vnet]+ivc.outVC] > 0
 }
 
 // addSACand registers a VC-allocated input VC as a switch candidate for
@@ -880,13 +957,12 @@ func (r *Router) RegisterMetrics(reg *stats.Registry) {
 			reg.AddTimeSeries(lp+".series", out.series)
 		}
 	}
-	for _, in := range r.inList {
-		for v := range in.vcs {
-			for c, ivc := range in.vcs[v] {
-				ivc := ivc
-				reg.AddGauge(fmt.Sprintf("%svc.%s.v%d.c%d.arrived", p, in.dir, v, c),
-					func() float64 { return float64(ivc.arrived) })
-			}
-		}
+	// vcs is laid out port-major, then vnet, then vc — the same order the
+	// old per-port registration loop produced.
+	for i := range r.vcs {
+		i := i
+		v := &r.vcs[i]
+		reg.AddGauge(fmt.Sprintf("%svc.%s.v%d.c%d.arrived", p, v.port, v.vnet, v.vc),
+			func() float64 { return float64(r.vcs[i].arrived) })
 	}
 }

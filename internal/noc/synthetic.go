@@ -81,10 +81,7 @@ type SyntheticInjector struct {
 
 	rng      uint64
 	injected int64
-	received int64
-	latSum   int64
-	latMax   int64
-	hist     *stats.Histogram
+	sinks    []*synSink
 }
 
 // NewSyntheticInjector attaches sinks at every node and returns the
@@ -97,15 +94,25 @@ func NewSyntheticInjector(net *Network, pattern Pattern, rate float64, sizeBytes
 		SizeBytes: sizeBytes,
 		vnet:      vnet,
 		rng:       seed*0x9E3779B97F4A7C15 + 1,
-		hist:      stats.NewHistogram(500, 50),
 	}
+	// One sink per node: on a sharded network, deliveries at different
+	// nodes run on different shard goroutines, so the latency statistics
+	// accumulate per node and aggregate only on read.
+	inj.sinks = make([]*synSink, net.Cfg().Nodes())
 	for i := 0; i < net.Cfg().Nodes(); i++ {
-		net.AttachClient(NodeID(i), (*synSink)(inj))
+		inj.sinks[i] = &synSink{hist: stats.NewHistogram(500, 50)}
+		net.AttachClient(NodeID(i), inj.sinks[i])
 	}
 	return inj
 }
 
-type synSink SyntheticInjector
+// synSink records delivered-packet latency at one node.
+type synSink struct {
+	received int64
+	latSum   int64
+	latMax   int64
+	hist     *stats.Histogram
+}
 
 // Deliver implements Client.
 func (s *synSink) Deliver(p *Packet, cycle int64) {
@@ -134,12 +141,8 @@ func (s *SyntheticInjector) Evaluate(cycle int64) {
 			continue
 		}
 		src := NodeID(n)
-		s.net.Inject(&Packet{
-			Src:       src,
-			Dst:       s.pattern.Dst(s.net.Cfg(), src, s.next()),
-			VNet:      s.vnet,
-			SizeBytes: s.SizeBytes,
-		}, cycle)
+		s.net.InjectMsg(src, s.pattern.Dst(s.net.Cfg(), src, s.next()),
+			s.vnet, s.SizeBytes, nil, cycle)
 		s.injected++
 	}
 }
@@ -151,18 +154,37 @@ func (s *SyntheticInjector) Advance(int64) {}
 func (s *SyntheticInjector) Injected() int64 { return s.injected }
 
 // Received returns the packets delivered so far.
-func (s *SyntheticInjector) Received() int64 { return s.received }
+func (s *SyntheticInjector) Received() int64 {
+	var n int64
+	for _, sk := range s.sinks {
+		n += sk.received
+	}
+	return n
+}
 
 // AvgLatency returns mean delivered-packet latency in cycles.
 func (s *SyntheticInjector) AvgLatency() float64 {
-	if s.received == 0 {
+	var sum, n int64
+	for _, sk := range s.sinks {
+		sum += sk.latSum
+		n += sk.received
+	}
+	if n == 0 {
 		return 0
 	}
-	return float64(s.latSum) / float64(s.received)
+	return float64(sum) / float64(n)
 }
 
 // MaxLatency returns the worst delivered-packet latency.
-func (s *SyntheticInjector) MaxLatency() int64 { return s.latMax }
+func (s *SyntheticInjector) MaxLatency() int64 {
+	var max int64
+	for _, sk := range s.sinks {
+		if sk.latMax > max {
+			max = sk.latMax
+		}
+	}
+	return max
+}
 
 // LoadPoint is one point of a load-latency curve.
 type LoadPoint struct {

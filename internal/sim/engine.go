@@ -35,10 +35,27 @@
 // in a dedicated slice ordered by registration index, so each cycle costs
 // O(awake) rather than O(registered) — on a 128-node mesh with the paper's
 // ~10% utilization most routers and NIs are asleep at any instant.
+// Wake-ups are buffered and merged into the active list once per cycle,
+// so a burst of wakes costs one merge instead of one sorted insertion
+// each (the insertion scan dominated whole-run profiles before).
+//
+// # Sharding
+//
+// An engine can be partitioned into K sub-engines (Partition), each owning
+// a disjoint set of components and its own time wheel. The root engine
+// then drives a conservatively synchronized step: its own events run
+// first, every sub-engine executes one full cycle (in parallel goroutines
+// unless SetSerialShards is on), and registered barrier hooks exchange
+// whatever crossed a shard boundary before the next cycle starts. The
+// synchronization horizon is one cycle because the NoC's credit return
+// path has a fixed one-cycle latency — that latency is the lookahead that
+// makes the conservative protocol correct (see DESIGN.md §9). Components
+// registered on the root itself still run, serially, after the barrier.
 package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"snacknoc/internal/stats"
 )
@@ -118,8 +135,17 @@ type Engine struct {
 	// active holds the awake components in registration order; Step
 	// iterates it instead of scanning comps for asleep flags.
 	active []*compState
-	seq    int64
-	wheel  timeWheel
+	// woken buffers components re-activated since the last merge; Step
+	// merges it into active (restoring registration order) before the
+	// Evaluate phase, so N wakes cost one merge instead of N insertions.
+	woken []*compState
+	seq   int64
+	// fnScheduled counts callback schedules only (not wake-ups), so the
+	// exported event metric is identical for any shard count: barrier
+	// delivery wakes components directly where the serial kernel would
+	// schedule a wake event, but callbacks are model behaviour.
+	fnScheduled int64
+	wheel       timeWheel
 	// eventPool recycles event records; Schedule runs on per-miss and
 	// per-wake paths, so the allocation shows up in whole-sweep profiles.
 	eventPool []*event
@@ -128,6 +154,16 @@ type Engine struct {
 	quiesce bool
 	// StopRequested lets a component or sampler end Run early.
 	stopped bool
+
+	// subs are the shard sub-engines of a partitioned root (see
+	// Partition); empty on an ordinary engine and on the subs themselves.
+	subs []*Engine
+	// barrierFns run serially after every sharded cycle, between the
+	// sub-engine steps and the root's own components.
+	barrierFns []func(cycle int64)
+	// serialShards forces the shard phase onto the calling goroutine
+	// (used when a shared observer such as a tracer is attached).
+	serialShards bool
 }
 
 // NewEngine returns an engine at cycle 0 with no components.
@@ -167,6 +203,9 @@ func (e *Engine) Schedule(at int64, fn func()) {
 func (e *Engine) scheduleEvent(at int64, fn func(), wake *compState) {
 	if at <= e.cycle {
 		panic(fmt.Sprintf("sim: Schedule(%d) at or before current cycle %d", at, e.cycle))
+	}
+	if fn != nil {
+		e.fnScheduled++
 	}
 	e.seq++
 	var ev *event
@@ -210,31 +249,63 @@ func (e *Engine) SetQuiescence(on bool) {
 				e.wake(st)
 			}
 		}
+		e.mergeWoken()
+	}
+	for _, s := range e.subs {
+		s.SetQuiescence(on)
 	}
 }
 
-// wake returns a sleeping component to the active list, replaying the
-// statistics of the cycles it skipped. The component is re-inserted at its
-// registration position so the evaluation order of awake components is
-// identical to the scan-everything kernel.
+// wake marks a sleeping component awake, replaying the statistics of the
+// cycles it skipped, and buffers it for the next active-list merge. It
+// will be evaluated from the cycle the merge precedes onward.
 func (e *Engine) wake(st *compState) {
 	if !st.asleep {
 		return
 	}
 	st.asleep = false
 	st.wakeAt = 0
-	a := e.active
-	i := len(a)
-	for i > 0 && a[i-1].idx > st.idx {
-		i--
-	}
-	a = append(a, nil)
-	copy(a[i+1:], a[i:])
-	a[i] = st
-	e.active = a
+	e.woken = append(e.woken, st)
 	if idle := e.cycle - st.sleptAt - 1; idle > 0 {
 		st.q.CatchUp(idle)
 	}
+}
+
+// mergeWoken folds the wake buffer into the active list, restoring
+// registration order, so the evaluation order of awake components is
+// identical to the scan-everything kernel.
+func (e *Engine) mergeWoken() {
+	w := e.woken
+	if len(w) == 0 {
+		return
+	}
+	// Wake events fire in schedule order, so w is usually already sorted
+	// by registration index; insertion sort is O(n) then and n is small.
+	for i := 1; i < len(w); i++ {
+		for j := i; j > 0 && w[j-1].idx > w[j].idx; j-- {
+			w[j-1], w[j] = w[j], w[j-1]
+		}
+	}
+	a := e.active
+	n := len(a)
+	a = append(a, w...)
+	// Backward merge: the read index into the old tail of a is always
+	// behind the write index, so merging in place is safe.
+	i, k := n-1, len(a)-1
+	for j := len(w) - 1; j >= 0; k-- {
+		if i >= 0 && a[i].idx > w[j].idx {
+			a[k] = a[i]
+			i--
+		} else {
+			a[k] = w[j]
+			j--
+		}
+	}
+	e.active = a
+	for i := range w {
+		w[i] = nil
+	}
+	e.woken = w[:0]
 }
 
 // Settle replays idle statistics for components that are still asleep, up
@@ -243,6 +314,7 @@ func (e *Engine) wake(st *compState) {
 // callers driving Step directly should call it before reading per-cycle
 // counters.
 func (e *Engine) Settle() {
+	e.mergeWoken()
 	for _, st := range e.comps {
 		if !st.asleep {
 			continue
@@ -252,14 +324,95 @@ func (e *Engine) Settle() {
 			st.sleptAt = e.cycle - 1
 		}
 	}
+	for _, s := range e.subs {
+		s.Settle()
+	}
+}
+
+// Partition splits the engine into k shard sub-engines and returns them.
+// Components registered on a sub-engine are stepped by the root's Step:
+// every sub executes the root's current cycle (concurrently unless
+// SetSerialShards is on), then the AtBarrier hooks run serially, then
+// components registered on the root itself. Sub-engines must not be run
+// directly, and every cross-shard interaction must be deferred to a
+// barrier hook — within a cycle a shard may only touch its own state.
+// Partition must be called before the first cycle; k <= 1 returns the
+// engine itself and changes nothing.
+func (e *Engine) Partition(k int) []*Engine {
+	if k <= 1 {
+		return []*Engine{e}
+	}
+	if len(e.subs) > 0 {
+		panic("sim: Partition called twice")
+	}
+	if e.cycle != 0 {
+		panic("sim: Partition after the engine has run")
+	}
+	for i := 0; i < k; i++ {
+		s := NewEngine()
+		s.quiesce = e.quiesce
+		e.subs = append(e.subs, s)
+	}
+	return e.subs
+}
+
+// AtBarrier registers fn to run serially after each sharded cycle, once
+// every sub-engine has finished the cycle. Boundary-exchange hooks use it
+// to deliver cross-shard wire traffic before the next cycle begins.
+func (e *Engine) AtBarrier(fn func(cycle int64)) {
+	if len(e.subs) == 0 {
+		panic("sim: AtBarrier on an unpartitioned engine")
+	}
+	e.barrierFns = append(e.barrierFns, fn)
+}
+
+// SetSerialShards forces the shard phase to run on the calling goroutine,
+// one sub-engine after another. Simulated behaviour is identical — shards
+// cannot observe each other within a cycle — so this exists for observers
+// that are shared across shards and not synchronized, such as a tracer.
+func (e *Engine) SetSerialShards(on bool) { e.serialShards = on }
+
+// Sharded reports whether the engine has been partitioned.
+func (e *Engine) Sharded() bool { return len(e.subs) > 0 }
+
+// runShards executes the current cycle on every sub-engine, then runs the
+// barrier hooks. The WaitGroup barrier orders everything a shard wrote
+// before everything the hooks (and the next cycle) read.
+func (e *Engine) runShards() {
+	if e.serialShards {
+		for _, s := range e.subs {
+			s.Step()
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(e.subs))
+		for _, s := range e.subs {
+			go func(s *Engine) {
+				defer wg.Done()
+				s.Step()
+			}(s)
+		}
+		wg.Wait()
+	}
+	for _, fn := range e.barrierFns {
+		fn(e.cycle)
+	}
 }
 
 // Step executes exactly one cycle: pending events, then Evaluate on all
 // active components, then Advance. Components whose Quiescent reports no
-// pending work leave the active list after their Advance.
+// pending work leave the active list after their Advance. On a
+// partitioned engine the shard phase runs between the event phase and the
+// root's own components.
 func (e *Engine) Step() {
 	if e.wheel.pending > 0 {
 		e.runEvents()
+	}
+	if len(e.subs) > 0 {
+		e.runShards()
+	}
+	if len(e.woken) > 0 {
+		e.mergeWoken()
 	}
 	act := e.active
 	for _, st := range act {
@@ -305,14 +458,34 @@ func (e *Engine) runEvents() {
 }
 
 // RegisterMetrics names the engine's own state in reg: the simulated
-// cycle, registered and awake component counts, and how many events were
-// ever scheduled. All are gauges read at snapshot time, so registration
-// adds no per-cycle cost.
+// cycle, registered and awake component counts, and how many callbacks
+// were ever scheduled. On a partitioned engine the counts aggregate over
+// the shard sub-engines, so snapshots are identical for any shard count.
+// All are gauges read at snapshot time, so registration adds no per-cycle
+// cost.
 func (e *Engine) RegisterMetrics(reg *stats.Registry) {
 	reg.AddGauge("engine.cycle", func() float64 { return float64(e.cycle) })
-	reg.AddGauge("engine.components", func() float64 { return float64(len(e.comps)) })
-	reg.AddGauge("engine.awake", func() float64 { return float64(len(e.active)) })
-	reg.AddGauge("engine.events.scheduled", func() float64 { return float64(e.seq) })
+	reg.AddGauge("engine.components", func() float64 {
+		n := len(e.comps)
+		for _, s := range e.subs {
+			n += len(s.comps)
+		}
+		return float64(n)
+	})
+	reg.AddGauge("engine.awake", func() float64 {
+		n := len(e.active) + len(e.woken)
+		for _, s := range e.subs {
+			n += len(s.active) + len(s.woken)
+		}
+		return float64(n)
+	})
+	reg.AddGauge("engine.events.scheduled", func() float64 {
+		n := e.fnScheduled
+		for _, s := range e.subs {
+			n += s.fnScheduled
+		}
+		return float64(n)
+	})
 }
 
 // Run executes up to n cycles, stopping early if Stop is called.

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestPartitionOneReturnsRoot(t *testing.T) {
+	e := NewEngine()
+	subs := e.Partition(1)
+	if len(subs) != 1 || subs[0] != e {
+		t.Fatalf("Partition(1) = %v, want the root engine itself", subs)
+	}
+	if e.Sharded() {
+		t.Fatal("Partition(1) must not mark the engine sharded")
+	}
+}
+
+func TestShardedCyclesRunLockstep(t *testing.T) {
+	e := NewEngine()
+	subs := e.Partition(3)
+	if !e.Sharded() || len(subs) != 3 {
+		t.Fatalf("Partition(3): sharded=%v subs=%d", e.Sharded(), len(subs))
+	}
+	recs := make([]*recorder, 3)
+	for i, s := range subs {
+		recs[i] = &recorder{name: "shard-comp"}
+		s.Register(recs[i])
+	}
+	root := &recorder{name: "root-comp"}
+	e.Register(root)
+	e.Run(5)
+	want := []int64{0, 1, 2, 3, 4}
+	for i, r := range append(recs, root) {
+		if len(r.evals) != len(want) {
+			t.Fatalf("component %d evaluated %d cycles, want %d", i, len(r.evals), len(want))
+		}
+		for c, got := range r.evals {
+			if got != want[c] {
+				t.Fatalf("component %d saw cycle %d at step %d, want %d", i, got, c, want[c])
+			}
+		}
+	}
+	for _, s := range subs {
+		if s.Cycle() != e.Cycle() {
+			t.Fatalf("sub-engine at cycle %d, root at %d", s.Cycle(), e.Cycle())
+		}
+	}
+}
+
+func TestBarrierRunsOncePerCycleAfterShards(t *testing.T) {
+	e := NewEngine()
+	subs := e.Partition(2)
+	// Each shard component marks its shard's slot for the cycle; the
+	// barrier hook must observe both marks (it runs strictly after every
+	// shard finished the cycle) and the root component must run after the
+	// barrier.
+	marks := make([]int64, 2)
+	for i, s := range subs {
+		i := i
+		s.Register(&recorderFn{fn: func(cycle int64) { marks[i] = cycle + 1 }})
+	}
+	var barrierCycles []int64
+	e.AtBarrier(func(cycle int64) {
+		for i, m := range marks {
+			if m != cycle+1 {
+				t.Errorf("barrier at cycle %d: shard %d mark %d, want %d", cycle, i, m, cycle+1)
+			}
+		}
+		barrierCycles = append(barrierCycles, cycle)
+	})
+	rootSeen := []int64{}
+	e.Register(&recorderFn{fn: func(cycle int64) {
+		if len(barrierCycles) == 0 || barrierCycles[len(barrierCycles)-1] != cycle {
+			t.Errorf("root component at cycle %d ran before the barrier", cycle)
+		}
+		rootSeen = append(rootSeen, cycle)
+	}})
+	e.Run(4)
+	if len(barrierCycles) != 4 || len(rootSeen) != 4 {
+		t.Fatalf("barrier ran %d times, root %d times, want 4 each", len(barrierCycles), len(rootSeen))
+	}
+}
+
+func TestShardScheduleAfterStaysOnShard(t *testing.T) {
+	e := NewEngine()
+	subs := e.Partition(2)
+	var fired []int64
+	subs[0].Register(&recorderFn{fn: func(cycle int64) {
+		if cycle == 0 {
+			subs[0].ScheduleAfter(3, func() {
+				fired = append(fired, subs[0].Cycle())
+			})
+		}
+	}})
+	e.Run(6)
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("shard-scheduled event fired at %v, want [3]", fired)
+	}
+}
+
+type recorderFn struct {
+	fn func(cycle int64)
+}
+
+func (r *recorderFn) Name() string         { return "fn" }
+func (r *recorderFn) Evaluate(cycle int64) { r.fn(cycle) }
+func (r *recorderFn) Advance(int64)        {}

@@ -5,7 +5,7 @@
 # points (see EXPERIMENTS.md, "Performance").
 #
 # Environment:
-#   BENCH_OUT       output file            (default BENCH_5.json)
+#   BENCH_OUT       output file            (default BENCH_6.json)
 #   BENCHTIME       go test -benchtime    (default 1x; use e.g. 3x to average)
 #   BENCH_RE        go test -bench regexp (default .)
 #   SWEEP_SCALE     sweep -scale          (default 0.25; 0 skips the sweep)
@@ -15,7 +15,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_5.json}
+out=${BENCH_OUT:-BENCH_6.json}
 benchtime=${BENCHTIME:-1x}
 benchre=${BENCH_RE:-.}
 sweepscale=${SWEEP_SCALE:-0.25}
@@ -79,8 +79,9 @@ awk -v sweep_j1="$sweep_j1" -v sweep_jn="$sweep_jn" -v ncpu="$ncpu" \
     -v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" '
 BEGIN {
     printf "{\n  \"benchmarks\": {\n"
-    # Baseline ns/op values, keyed by benchmark name, parsed from our own
-    # output format: one  "Name": {... "ns/op": V ...}  object per line.
+    # Baseline ns/op, allocs/op and B/op values, keyed by benchmark name,
+    # parsed from our own output format: one
+    # "Name": {... "ns/op": V ...}  object per line.
     if (baseline != "") {
         while ((getline bl < baseline) > 0) {
             if (match(bl, /"Benchmark[^"]+"/)) {
@@ -88,6 +89,14 @@ BEGIN {
                 if (match(bl, /"ns\/op": [0-9.e+]+/)) {
                     v = substr(bl, RSTART+9, RLENGTH-9)
                     base[bname] = v + 0
+                }
+                if (match(bl, /"allocs\/op": [0-9.e+]+/)) {
+                    v = substr(bl, RSTART+13, RLENGTH-13)
+                    basealloc[bname] = v + 0
+                }
+                if (match(bl, /"B\/op": [0-9.e+]+/)) {
+                    v = substr(bl, RSTART+8, RLENGTH-8)
+                    basebytes[bname] = v + 0
                 }
             }
         }
@@ -102,6 +111,8 @@ BEGIN {
         if (nm++) printf ", "
         printf "\"%s\": %s", $(i+1), $i
         if ($(i+1) == "ns/op") nsop[$1] = $i + 0
+        if ($(i+1) == "allocs/op") alloc[$1] = $i + 0
+        if ($(i+1) == "B/op") bytes[$1] = $i + 0
     }
     printf "}}"
     order[no++] = $1
@@ -126,8 +137,13 @@ END {
             if (!(b in base) || !(b in nsop)) continue
             if (nc++) printf ",\n"
             impr = (base[b] > 0) ? 100 * (base[b] - nsop[b]) / base[b] : 0
-            printf "    \"%s\": {\"before_ns_op\": %s, \"after_ns_op\": %s, \"improvement_pct\": %.1f}", \
+            printf "    \"%s\": {\"before_ns_op\": %s, \"after_ns_op\": %s, \"improvement_pct\": %.1f", \
                 b, base[b], nsop[b], impr
+            if ((b in basealloc) && (b in alloc))
+                printf ", \"before_allocs_op\": %s, \"after_allocs_op\": %s", basealloc[b], alloc[b]
+            if ((b in basebytes) && (b in bytes))
+                printf ", \"before_B_op\": %s, \"after_B_op\": %s", basebytes[b], bytes[b]
+            printf "}"
         }
         printf "\n  },\n"
     }

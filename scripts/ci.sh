@@ -1,8 +1,24 @@
 #!/bin/sh
-# Tier-1 gate: formatting, vet, build, full test suite, and a race-
-# detector pass over the concurrent sweep runner. Run from the repo root.
+# Tier-1 gate: formatting, vet, build, full test suite, and race-
+# detector passes over the concurrent sweep runner and the sharded
+# simulation kernel. Run from the repo root.
+#
+# Usage: scripts/ci.sh [-heavy]
+#   -heavy additionally regenerates the fig12/fig13 full sweeps (minutes
+#   each) and byte-compares them against results/ (same as CI_HEAVY=1).
 set -eu
 cd "$(dirname "$0")/.."
+
+heavy=${CI_HEAVY:-0}
+for arg in "$@"; do
+    case "$arg" in
+    -heavy) heavy=1 ;;
+    *)
+        echo "usage: scripts/ci.sh [-heavy]" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "== gofmt =="
 fmt=$(gofmt -l .)
@@ -23,14 +39,17 @@ go test ./...
 
 # The race pass uses -short so the full-scale figure regenerations (which
 # the plain pass above already ran) are not repeated at the race
-# detector's ~10x slowdown; the traced parallel-sweep test ignores -short
-# and is the concurrency coverage this pass exists for.
-echo "== go test -race -short ./internal/experiments =="
-go test -race -short ./internal/experiments
+# detector's ~10x slowdown. It covers the two concurrent subsystems: the
+# parallel sweep runner (traced parallel-sweep test ignores -short) and
+# the sharded simulation kernel (the shard determinism tests in sim, noc,
+# and the sharded co-run in experiments drive shard goroutines through
+# the full platform stack).
+echo "== go test -race -short ./internal/experiments ./internal/noc ./internal/sim =="
+go test -race -short ./internal/experiments ./internal/noc ./internal/sim
 
-# CI_HEAVY=1 additionally regenerates the fig12/fig13 full sweeps
-# (minutes each) and byte-compares them against results/.
-if [ "${CI_HEAVY:-0}" = "1" ]; then
+# -heavy (or CI_HEAVY=1) additionally regenerates the fig12/fig13 full
+# sweeps (minutes each) and byte-compares them against results/.
+if [ "$heavy" = "1" ]; then
     echo "== heavy equivalence (fig12, fig13) =="
     SNACKNOC_EQUIV_HEAVY=1 go test -run 'TestFig1[23]Regeneration' -timeout 60m ./internal/experiments
 fi
@@ -40,7 +59,7 @@ fi
 # when no correctness test exercises the perf-only code.
 echo "== benchmark smoke (1 iteration) =="
 go test -run '^$' -bench 'BenchmarkEngineSchedule' -benchtime 1x ./internal/sim
-go test -run '^$' -bench 'BenchmarkRouterEvaluate' -benchtime 1x ./internal/noc
+go test -run '^$' -bench 'BenchmarkRouterEvaluate|BenchmarkBoundaryExchange|BenchmarkShardBarrier' -benchtime 1x ./internal/noc
 
 # Observability smoke: trace and snapshot a tiny deterministic kernel run,
 # validate the trace-event JSON, and diff the metrics against the golden
@@ -65,7 +84,7 @@ go run ./cmd/metricsdiff "$obs_metrics" results/smoke-metrics.json
 # BENCH_GUARD=0 skips the guard (e.g. on a machine the baseline was not
 # recorded on, where absolute ns/op is not comparable).
 if [ "${BENCH_GUARD:-1}" != "0" ]; then
-    guard_base_file=${BENCH_GUARD_BASE:-BENCH_3.json}
+    guard_base_file=${BENCH_GUARD_BASE:-BENCH_6.json}
     guard_pct=${BENCH_GUARD_PCT:-2}
     base=$(awk -F'"ns/op": ' '/"BenchmarkFig2RouterUsage"/ {split($2, a, /[,}]/); print a[1]; exit}' "$guard_base_file")
     if [ -z "$base" ]; then
