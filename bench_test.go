@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"snacknoc/internal/cache"
+	"snacknoc/internal/checkpoint"
 	"snacknoc/internal/compiler"
 	"snacknoc/internal/core"
 	"snacknoc/internal/cpu"
@@ -315,6 +316,123 @@ func BenchmarkAblationSharedMemChannel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// buildCheckpointSim constructs the full co-run platform the checkpoint
+// benchmarks operate on — mesh, caches, cores, and RCU/CPM with a
+// kernel mid-flight — warmed to the sweep checkpoint boundary.
+func buildCheckpointSim(b *testing.B) checkpoint.Target {
+	b.Helper()
+	eng := sim.NewEngine()
+	net, err := noc.New(eng, noc.SnackPlatform(4, 4, true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.EnableSampling(2000)
+	sys, err := cache.NewSystem(eng, net, cache.DefaultSystemConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := cpu.NewWorkload(eng, sys, traffic.Scale(traffic.LULESH(), 0.25), experiments.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat, err := core.AttachToSystem(eng, sys, core.DefaultPlatformConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := experiments.CompileKernel(cpu.KernelReduction, experiments.DefaultKernelDims(), 16, experiments.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.ScheduleAfter(1, func() {
+		plat.CPM.Submit(prog, eng.Cycle(), func(*core.Result) {})
+	})
+	eng.Run(experiments.WarmupCycles)
+	return checkpoint.Target{Eng: eng, Net: net, Sys: sys, Work: w, Plat: plat}
+}
+
+// BenchmarkCheckpointSave measures one deep snapshot of a warmed
+// platform (every layer: engine, NoC, caches, cores, RCUs/CPM).
+func BenchmarkCheckpointSave(b *testing.B) {
+	tgt := buildCheckpointSim(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checkpoint.Take(tgt)
+	}
+}
+
+// BenchmarkCheckpointRestore measures one fork: writing a saved
+// snapshot back onto the live platform.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	tgt := buildCheckpointSim(b)
+	st := checkpoint.Take(tgt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Restore()
+	}
+}
+
+// BenchmarkPlatformBuild measures constructing the baseline platform
+// from scratch — the work a warm-sweep fork skips (before warmup).
+func BenchmarkPlatformBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		net, err := noc.New(eng, noc.SnackPlatform(4, 4, true))
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.EnableSampling(2000)
+		sys, err := cache.NewSystem(eng, net, cache.DefaultSystemConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cpu.NewWorkload(eng, sys, traffic.Scale(traffic.LULESH(), 0.25), experiments.Seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepColdVsWarm runs the same reduced Fig 12 slice cold and
+// warm; the ns/op ratio is the headline warm-sweep win recorded in
+// EXPERIMENTS.md. Both sub-benchmarks start each iteration with empty
+// caches, so warm measures one full sweep including its first cold
+// cells.
+func BenchmarkSweepColdVsWarm(b *testing.B) {
+	// Serial workers so ns/op measures simulation work, not how well
+	// the worker pool hides the redundancy warm mode removes.
+	experiments.SetWorkers(1)
+	defer experiments.SetWorkers(0)
+	benches := []*traffic.Profile{traffic.CoMD(), traffic.Radix()}
+	kernels := []cpu.KernelName{cpu.KernelSGEMM, cpu.KernelSPMV}
+	sweep := func(b *testing.B) {
+		res, err := experiments.RunFig12(benches, kernels,
+			experiments.DefaultKernelDims(), benchScale, []bool{true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MaxImpact(true), "max-impact-%")
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			experiments.ResetCompileCache()
+			sweep(b)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		defer experiments.SetWarmSweeps(false)
+		for i := 0; i < b.N; i++ {
+			experiments.SetWarmSweeps(false) // drop the previous iteration's platforms
+			experiments.ResetCompileCache()
+			experiments.SetWarmSweeps(true)
+			sweep(b)
+		}
+	})
 }
 
 // BenchmarkNoCSaturation measures raw simulator throughput on a loaded

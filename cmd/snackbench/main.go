@@ -32,6 +32,7 @@ func main() {
 	priority := flag.Bool("priority", true, "priority arbitration for co-run experiments")
 	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
 	shards := flag.Int("shards", 0, "simulation-kernel shards per mesh (<=1 = serial; results are identical for any value)")
+	warm := flag.Bool("warm-sweeps", false, "fork checkpointed baseline platforms and memoize zero-load legs across sweep cells (byte-identical output, faster fig12/fig13; ignored while -trace/-metrics are active)")
 	printWorkers := flag.Bool("print-workers", false, "print the resolved sweep worker count and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -41,6 +42,7 @@ func main() {
 	flag.Parse()
 	experiments.SetWorkers(*jobs)
 	experiments.SetShards(*shards)
+	experiments.SetWarmSweeps(*warm)
 	if *printWorkers {
 		fmt.Println(experiments.Workers())
 		return

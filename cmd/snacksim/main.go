@@ -37,6 +37,7 @@ func main() {
 	priority := flag.Bool("priority", true, "priority arbitration (snack runs)")
 	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
 	shards := flag.Int("shards", 0, "simulation-kernel shards per mesh (<=1 = serial; results are identical for any value)")
+	warm := flag.Bool("warm-sweeps", false, "fork checkpointed baseline platforms and memoize zero-load legs across co-run cells (byte-identical output; ignored while -trace/-metrics are active)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the simulation to this file")
@@ -45,6 +46,7 @@ func main() {
 	flag.Parse()
 	experiments.SetWorkers(*jobs)
 	experiments.SetShards(*shards)
+	experiments.SetWarmSweeps(*warm)
 	if *traceLast > 0 && *tracePath == "" {
 		fatalf("-trace-last requires -trace")
 	}

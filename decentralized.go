@@ -94,10 +94,13 @@ func (p *DecentralizedPlatform) ExecuteConcurrent(ctxs ...*Context) ([]*Stats, e
 			if err != nil {
 				return nil, err
 			}
-			prog, err := compiler.Compile(g, cc)
+			cached, err := compiler.CompileCached(g, cc)
 			if err != nil {
 				return nil, err
 			}
+			// Shared cached program: relabel a shallow copy (see Execute).
+			prog := new(core.Program)
+			*prog = *cached
 			prog.Name = ctx.name
 			j.prog = append(j.prog, prog)
 			j.outs = append(j.outs, req.out)

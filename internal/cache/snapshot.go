@@ -1,0 +1,205 @@
+package cache
+
+import (
+	"snacknoc/internal/mem"
+	"snacknoc/internal/stats"
+)
+
+// Checkpoint support. The hierarchy's mutable state is the tag stores,
+// the L1 MSHR files, the L2 directory/transaction/queue maps and the
+// DRAM controllers; pending lookup-latency and fill events live in the
+// engine snapshot. Msg values are immutable once sent, so saved states
+// share *Msg pointers; completion callbacks (mshr waiters, retry funcs)
+// are closures over stable component roots plus captured values, so the
+// func values themselves are shared too. Everything else is deep-copied
+// on snapshot AND again on restore, so one SystemState supports any
+// number of forks.
+
+// CacheState is a tag store's saved state.
+type CacheState struct {
+	Lines        []line
+	Tick         int64
+	Hits, Misses int64
+}
+
+// State captures the tag store.
+func (c *Cache) State() CacheState {
+	return CacheState{
+		Lines:  append([]line(nil), c.lines...),
+		Tick:   c.tick,
+		Hits:   c.hits,
+		Misses: c.misses,
+	}
+}
+
+// Restore writes a saved state back (geometry must match).
+func (c *Cache) Restore(s CacheState) {
+	copy(c.lines, s.Lines)
+	c.tick = s.Tick
+	c.hits, c.misses = s.Hits, s.Misses
+}
+
+// mshrSnap is one saved MSHR. The waiter and retry callbacks are shared
+// with the live structure: they close over component roots whose state
+// is restored alongside, never over transient per-run storage.
+type mshrSnap struct {
+	block uint64
+	write bool
+
+	waiters []func(cycle int64)
+	retry   []retryReq
+}
+
+// l1State is one L1 controller's saved state.
+type l1State struct {
+	cache    CacheState
+	mshrs    []mshrSnap
+	hits     int64
+	misses   int64
+	latSum   int64
+	latCount int64
+}
+
+func (l *L1) state() l1State {
+	s := l1State{
+		cache:    l.cache.State(),
+		hits:     l.hits.Value(),
+		misses:   l.misses.Value(),
+		latSum:   l.latSum,
+		latCount: l.latCount,
+	}
+	for block, m := range l.mshrs {
+		s.mshrs = append(s.mshrs, mshrSnap{
+			block:   block,
+			write:   m.write,
+			waiters: append([]func(cycle int64){}, m.waiters...),
+			retry:   append([]retryReq(nil), m.retry...),
+		})
+	}
+	return s
+}
+
+func (l *L1) restore(s l1State) {
+	l.cache.Restore(s.cache)
+	l.hits.Restore(stats.CounterState{N: s.hits})
+	l.misses.Restore(stats.CounterState{N: s.misses})
+	l.latSum, l.latCount = s.latSum, s.latCount
+	l.mshrs = make(map[uint64]*mshr, len(s.mshrs))
+	for _, ms := range s.mshrs {
+		l.mshrs[ms.block] = &mshr{
+			write:   ms.write,
+			waiters: append([]func(cycle int64){}, ms.waiters...),
+			retry:   append([]retryReq(nil), ms.retry...),
+		}
+	}
+}
+
+// l2txnSnap is one saved in-flight home transaction.
+type l2txnSnap struct {
+	block uint64
+	txn   l2txn
+}
+
+// dirSnap is one saved directory entry.
+type dirSnap struct {
+	block uint64
+	entry dirEntry
+}
+
+// queueSnap is one saved per-block request queue.
+type queueSnap struct {
+	block uint64
+	msgs  []*Msg
+}
+
+// l2State is one bank's saved state.
+type l2State struct {
+	cache        CacheState
+	dir          []dirSnap
+	txns         []l2txnSnap
+	queue        []queueSnap
+	hits, misses int64
+	recalls      int64
+	invs         int64
+}
+
+func (b *L2Bank) state() l2State {
+	s := l2State{
+		cache:   b.cache.State(),
+		hits:    b.hits.Value(),
+		misses:  b.misses.Value(),
+		recalls: b.recalls.Value(),
+		invs:    b.invs.Value(),
+	}
+	for block, e := range b.dir {
+		s.dir = append(s.dir, dirSnap{block: block, entry: *e})
+	}
+	for block, t := range b.txns {
+		s.txns = append(s.txns, l2txnSnap{block: block, txn: *t})
+	}
+	for block, q := range b.queue {
+		s.queue = append(s.queue, queueSnap{block: block, msgs: append([]*Msg(nil), q...)})
+	}
+	return s
+}
+
+func (b *L2Bank) restore(s l2State) {
+	b.cache.Restore(s.cache)
+	b.hits.Restore(stats.CounterState{N: s.hits})
+	b.misses.Restore(stats.CounterState{N: s.misses})
+	b.recalls.Restore(stats.CounterState{N: s.recalls})
+	b.invs.Restore(stats.CounterState{N: s.invs})
+	b.dir = make(map[uint64]*dirEntry, len(s.dir))
+	for _, d := range s.dir {
+		e := d.entry
+		b.dir[d.block] = &e
+	}
+	b.txns = make(map[uint64]*l2txn, len(s.txns))
+	for _, t := range s.txns {
+		txn := t.txn
+		b.txns[t.block] = &txn
+	}
+	b.queue = make(map[uint64][]*Msg, len(s.queue))
+	for _, q := range s.queue {
+		b.queue[q.block] = append([]*Msg(nil), q.msgs...)
+	}
+}
+
+// SystemState is the whole hierarchy's saved state. Memory controllers
+// are saved in memNodes order, which is deterministic by construction.
+type SystemState struct {
+	l1s  []l1State
+	l2s  []l2State
+	mems []mem.ControllerState
+}
+
+// State captures every controller in the hierarchy.
+func (s *System) State() *SystemState {
+	st := &SystemState{
+		l1s: make([]l1State, len(s.L1s)),
+		l2s: make([]l2State, len(s.L2s)),
+	}
+	for i, l := range s.L1s {
+		st.l1s[i] = l.state()
+	}
+	for i, b := range s.L2s {
+		st.l2s[i] = b.state()
+	}
+	for _, mn := range s.memNodes {
+		st.mems = append(st.mems, s.Mems[mn].ctrl.State())
+	}
+	return st
+}
+
+// Restore writes a saved state back onto the same system.
+func (s *System) Restore(st *SystemState) {
+	for i, l := range s.L1s {
+		l.restore(st.l1s[i])
+	}
+	for i, b := range s.L2s {
+		b.restore(st.l2s[i])
+	}
+	for i, mn := range s.memNodes {
+		s.Mems[mn].ctrl.Restore(st.mems[i])
+	}
+}

@@ -1,0 +1,195 @@
+package checkpoint_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"snacknoc/internal/cache"
+	"snacknoc/internal/checkpoint"
+	"snacknoc/internal/core"
+	"snacknoc/internal/cpu"
+	"snacknoc/internal/experiments"
+	"snacknoc/internal/noc"
+	"snacknoc/internal/sim"
+	"snacknoc/internal/traffic"
+)
+
+const testSeed = 2020
+
+// coRunSim is a small co-run platform: a CMP benchmark on the cores
+// with a SnackNoC kernel in flight — every layer a checkpoint covers.
+type coRunSim struct {
+	eng  *sim.Engine
+	net  *noc.Network
+	sys  *cache.System
+	work *cpu.Workload
+	plat *core.Platform
+
+	kernelRuns int
+	lastResult *core.Result
+}
+
+func buildCoRun(t testing.TB, shards int) *coRunSim {
+	t.Helper()
+	cfg := noc.SnackPlatform(4, 4, true)
+	cfg.Shards = shards
+	eng := sim.NewEngine()
+	net, err := noc.New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.EnableSampling(2000)
+	sys, err := cache.NewSystem(eng, net, cache.DefaultSystemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	work, err := cpu.NewWorkload(eng, sys, traffic.Scale(traffic.LULESH(), 0.05), testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := core.AttachToSystem(eng, sys, core.DefaultPlatformConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := experiments.CompileKernel(cpu.KernelReduction, experiments.DefaultKernelDims(), 16, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &coRunSim{eng: eng, net: net, sys: sys, work: work, plat: plat}
+	eng.ScheduleAfter(1, func() {
+		if !plat.CPM.Submit(prog, eng.Cycle(), func(r *core.Result) {
+			s.kernelRuns++
+			s.lastResult = r
+		}) {
+			t.Error("CPM busy at submission")
+		}
+	})
+	return s
+}
+
+func (s *coRunSim) target() checkpoint.Target {
+	return checkpoint.Target{
+		Eng: s.eng, Net: s.net, Sys: s.sys, Work: s.work, Plat: s.plat,
+	}
+}
+
+// runToEnd drives the simulation until the benchmark and kernel are both
+// finished and returns a digest of everything observable.
+func (s *coRunSim) runToEnd(t testing.TB) string {
+	t.Helper()
+	done := func() bool { return s.work.Done() && !s.plat.CPM.Busy() }
+	if _, ok := s.eng.RunUntil(done, 50_000_000); !ok {
+		t.Fatal("simulation did not complete")
+	}
+	return s.digest()
+}
+
+func (s *coRunSim) digest() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle=%d kernelRuns=%d\n", s.eng.Cycle(), s.kernelRuns)
+	if s.lastResult != nil {
+		fmt.Fprintf(&b, "kernel: cycles=%d values=%v\n", s.lastResult.Cycles(), s.lastResult.Values)
+	}
+	for i, c := range s.work.Cores {
+		fmt.Fprintf(&b, "core%d: finish=%d retired=%d stalls=%d\n",
+			i, c.FinishCycle(), c.Retired(), c.StallCycles())
+	}
+	for i := range s.sys.L1s {
+		fmt.Fprintf(&b, "l1-%d: h=%d m=%d l2: h=%d m=%d\n",
+			i, s.sys.L1s[i].Hits(), s.sys.L1s[i].Misses(),
+			s.sys.L2s[i].Hits(), s.sys.L2s[i].Misses())
+	}
+	fmt.Fprintf(&b, "rcu.executed=%d cpm: issued=%d offloaded=%d busy=%d\n",
+		s.plat.TotalExecuted(), s.plat.CPM.Issued(), s.plat.CPM.Offloaded(),
+		s.plat.CPM.BusyReplies())
+	for _, r := range s.net.Routers() {
+		fmt.Fprintf(&b, "%v\n", r.XbarSeries().Samples())
+	}
+	return b.String()
+}
+
+// TestForkDeterminism pins the checkpoint contract: restoring one
+// warmed snapshot any number of times — including after a partial run —
+// replays the identical future, byte for byte, with a kernel mid-flight
+// at the snapshot point.
+func TestForkDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fork determinism runs a co-run leg to completion three times")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			s := buildCoRun(t, shards)
+			s.eng.Run(4096)
+			if !s.plat.CPM.Busy() {
+				t.Fatal("kernel not in flight at the snapshot point; the test would not cover token state")
+			}
+			st := checkpoint.Take(s.target())
+			if st.Cycle() != 4096 {
+				t.Fatalf("snapshot cycle %d, want 4096", st.Cycle())
+			}
+
+			want := s.runToEnd(t)
+
+			// Fork 1: plain restore.
+			st.Restore()
+			s.kernelRuns, s.lastResult = 0, nil
+			if got := s.runToEnd(t); got != want {
+				t.Error("first fork diverged from the original run")
+			}
+
+			// Fork 2: restore, run partway, restore again from the same
+			// state, then complete — the snapshot must be unscathed by
+			// earlier forks.
+			st.Restore()
+			s.eng.Run(3000)
+			st.Restore()
+			s.kernelRuns, s.lastResult = 0, nil
+			if got := s.runToEnd(t); got != want {
+				t.Error("fork after a partial run diverged from the original run")
+			}
+		})
+	}
+}
+
+// TestStandaloneRoundTrip forks a zero-load kernel run (the fig13 leg2
+// shape) and checks the completion cycle and result values replay.
+func TestStandaloneRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	plat, err := core.NewStandalone(eng, 4, 4, true, core.DefaultPlatformConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := experiments.CompileKernel(cpu.KernelMAC, experiments.DefaultKernelDims(), 16, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *core.Result
+	if !plat.CPM.Submit(prog, eng.Cycle(), func(r *core.Result) { res = r }) {
+		t.Fatal("CPM busy")
+	}
+	eng.Run(2000)
+	if !plat.CPM.Busy() {
+		t.Fatal("kernel finished before the snapshot point")
+	}
+	st := checkpoint.Take(checkpoint.Target{Eng: eng, Net: plat.Net, Plat: plat})
+
+	finish := func() *core.Result {
+		res = nil
+		if _, ok := eng.RunUntil(func() bool { return res != nil }, 100_000_000); !ok {
+			t.Fatal("kernel did not complete")
+		}
+		return res
+	}
+	first := finish()
+	for fork := 0; fork < 2; fork++ {
+		st.Restore()
+		got := finish()
+		if got.DoneCycle != first.DoneCycle {
+			t.Errorf("fork %d: done cycle %d, want %d", fork, got.DoneCycle, first.DoneCycle)
+		}
+		if fmt.Sprint(got.Values) != fmt.Sprint(first.Values) {
+			t.Errorf("fork %d: result values diverged", fork)
+		}
+	}
+}

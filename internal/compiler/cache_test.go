@@ -1,0 +1,75 @@
+package compiler
+
+import (
+	"testing"
+
+	"snacknoc/internal/dataflow"
+)
+
+// buildTestGraph constructs a small MatMul graph with the given data.
+func buildTestGraph(t *testing.T, vals []float64) *dataflow.Graph {
+	t.Helper()
+	b := dataflow.NewBuilder()
+	a, err := b.Input(vec(vals...), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := b.Input(vec(1, 0, 0, 1), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, err := b.MatMul(a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build(ax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestCompileCachedContentKey pins the content-keyed cache: two
+// independently built graphs with identical content share one compiled
+// program, while a graph with different data or a different config
+// compiles fresh.
+func TestCompileCachedContentKey(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	cfg := DefaultConfig(16)
+
+	p1, err := CompileCached(buildTestGraph(t, []float64{1, 2, 3, 4}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := CompileCached(buildTestGraph(t, []float64{1, 2, 3, 4}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("identical graph content did not share one cached program")
+	}
+	if h, m := CacheStats(); h != 1 || m != 1 {
+		t.Errorf("got %d hits / %d misses, want 1/1", h, m)
+	}
+
+	p3, err := CompileCached(buildTestGraph(t, []float64{1, 2, 3, 5}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("different input data hit the cache")
+	}
+
+	small := DefaultConfig(4)
+	p4, err := CompileCached(buildTestGraph(t, []float64{1, 2, 3, 4}), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 == p1 {
+		t.Error("different config hit the cache")
+	}
+	if h, m := CacheStats(); h != 1 || m != 3 {
+		t.Errorf("got %d hits / %d misses after distinct keys, want 1/3", h, m)
+	}
+}

@@ -102,9 +102,15 @@ type CPM struct {
 	pendingWB  int // results not yet grouped into a write-back
 
 	// overflow management
-	offload     []*DataToken // tokens captured into the offload buffer
-	offloadMem  []*DataToken // tokens parked in main memory
-	reinjecting bool         // alternate offload/instruction issue
+	offload []*DataToken // tokens captured into the offload buffer
+	// offloadPending holds flushed batches whose memory write is still in
+	// flight, in issue order. The write-completion callback pops the front
+	// rather than capturing its batch: DDR3 completions for one address
+	// come back in issue order, and keeping the batch in a field (instead
+	// of a closure) lets a checkpoint carry it.
+	offloadPending [][]*DataToken
+	offloadMem     []*DataToken // tokens parked in main memory
+	reinjecting    bool         // alternate offload/instruction issue
 
 	// statistics
 	issued      stats.Counter
@@ -410,9 +416,12 @@ func (c *CPM) CaptureOverflow(tok *DataToken, cycle int64) {
 	if len(c.offload) >= c.cfg.OffloadBufFlits {
 		batch := append([]*DataToken(nil), c.offload...)
 		c.offload = c.offload[:0]
+		c.offloadPending = append(c.offloadPending, batch)
 		addr := c.cfg.ProgBase + uint64(2<<20)
 		c.mem.Access(addr, true, func(at int64) {
-			c.offloadMem = append(c.offloadMem, batch...)
+			b := c.offloadPending[0]
+			c.offloadPending = c.offloadPending[1:]
+			c.offloadMem = append(c.offloadMem, b...)
 		})
 	}
 }

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"snacknoc/internal/fixed"
+	"snacknoc/internal/mem"
+	"snacknoc/internal/noc"
+	"snacknoc/internal/stats"
+)
+
+// Checkpoint support. Kernel tokens are mutable (operand capture fills
+// instruction references in place; dependent counts on data tokens are
+// decremented), and one token can be referenced from several places at
+// once — a program entry, the CPM's instruction buffer, an RCU's
+// sub-block queue and its waiting index, or a flit payload in flight.
+// A TokenCloner deep-copies tokens under a single identity map so every
+// alias in one snapshot (or restore) pass resolves to the same copy.
+//
+// The state saved here follows the double-clone rule: SnapshotState
+// clones live tokens into the snapshot, and every RestoreState clones
+// the snapshot's tokens again into the platform, so one snapshot can be
+// forked any number of times.
+//
+// Callback values — the CPM's onDone and the completion closures held by
+// pending engine events — are shared, not cloned: they close over the
+// stable component roots whose state is restored alongside.
+
+// TokenCloner deep-copies instruction and data tokens, preserving
+// aliasing within one pass. Values of any other type pass through
+// unchanged (cache protocol messages are immutable once sent).
+type TokenCloner struct {
+	seen map[any]any
+}
+
+// NewTokenCloner starts a fresh identity map. Use one cloner per
+// snapshot pass and one per restore pass.
+func NewTokenCloner() *TokenCloner {
+	return &TokenCloner{seen: make(map[any]any)}
+}
+
+// Clone copies a token, reusing the copy for repeated aliases. It is
+// the payload-clone hook the noc snapshot takes.
+func (tc *TokenCloner) Clone(v any) any {
+	switch t := v.(type) {
+	case *InstrToken:
+		return tc.instr(t)
+	case *DataToken:
+		return tc.data(t)
+	default:
+		return v
+	}
+}
+
+func (tc *TokenCloner) instr(it *InstrToken) *InstrToken {
+	if it == nil {
+		return nil
+	}
+	if c, ok := tc.seen[it]; ok {
+		return c.(*InstrToken)
+	}
+	cp := *it
+	tc.seen[it] = &cp
+	return &cp
+}
+
+func (tc *TokenCloner) data(d *DataToken) *DataToken {
+	if d == nil {
+		return nil
+	}
+	if c, ok := tc.seen[d]; ok {
+		return c.(*DataToken)
+	}
+	cp := *d
+	tc.seen[d] = &cp
+	return &cp
+}
+
+func (tc *TokenCloner) instrs(list []*InstrToken) []*InstrToken {
+	if list == nil {
+		return nil
+	}
+	out := make([]*InstrToken, len(list))
+	for i, it := range list {
+		out[i] = tc.instr(it)
+	}
+	return out
+}
+
+func (tc *TokenCloner) datas(list []*DataToken) []*DataToken {
+	if list == nil {
+		return nil
+	}
+	out := make([]*DataToken, len(list))
+	for i, d := range list {
+		out[i] = tc.data(d)
+	}
+	return out
+}
+
+func (tc *TokenCloner) entry(e ProgEntry) ProgEntry {
+	return ProgEntry{Instr: tc.instr(e.Instr), Data: tc.data(e.Data)}
+}
+
+func (tc *TokenCloner) entries(list []ProgEntry) []ProgEntry {
+	if list == nil {
+		return nil
+	}
+	out := make([]ProgEntry, len(list))
+	for i, e := range list {
+		out[i] = tc.entry(e)
+	}
+	return out
+}
+
+// prog clones a program under the identity map — unlike Program.Clone,
+// aliases between the program's entries and tokens elsewhere (the
+// instruction buffer, in-flight flits) stay aliased in the copy.
+func (tc *TokenCloner) prog(p *Program) *Program {
+	if p == nil {
+		return nil
+	}
+	out := &Program{
+		Name:       p.Name,
+		Entries:    tc.entries(p.Entries),
+		OutputSlot: make(map[DepID]int, len(p.OutputSlot)),
+		NumOutputs: p.NumOutputs,
+	}
+	for k, v := range p.OutputSlot {
+		out.OutputSlot[k] = v
+	}
+	return out
+}
+
+func cloneResult(r *Result) *Result {
+	if r == nil {
+		return nil
+	}
+	return &Result{
+		Values:     append([]fixed.Q(nil), r.Values...),
+		StartCycle: r.StartCycle,
+		DoneCycle:  r.DoneCycle,
+	}
+}
+
+// sbSnap is one sub-block queue, saved in arrival order.
+type sbSnap struct {
+	id       uint32
+	executed int
+	instrs   []*InstrToken
+}
+
+// waitSnap is one dependency's waiting-instruction list.
+type waitSnap struct {
+	dep  DepID
+	list []*InstrToken
+}
+
+// rcuState is one RCU's saved state. The compute port is saved here —
+// at the CPM's node the CPM shares the RCU's port, so the platform
+// saves it exactly once.
+type rcuState struct {
+	port    noc.InjectPortState
+	inbox   []inboxEntry
+	sbs     []sbSnap
+	waiting []waitSnap
+
+	acc     fixed.Q
+	accSB   uint32
+	accOpen bool
+
+	exec      *InstrToken
+	execVal   fixed.Q
+	busyUntil int64
+	execStart int64
+
+	outQ []outToken
+
+	executed  stats.CounterState
+	captured  stats.CounterState
+	emitted   stats.CounterState
+	stalls    stats.CounterState
+	maxBuffer int
+}
+
+func (r *RCU) snapshot(tc *TokenCloner) rcuState {
+	s := rcuState{
+		port:      r.port.State(),
+		acc:       r.acc,
+		accSB:     r.accSB,
+		accOpen:   r.accOpen,
+		exec:      tc.instr(r.exec),
+		execVal:   r.execVal,
+		busyUntil: r.busyUntil,
+		execStart: r.execStart,
+		executed:  r.executed.State(),
+		captured:  r.captured.State(),
+		emitted:   r.emitted.State(),
+		stalls:    r.stallCount.State(),
+		maxBuffer: r.maxBuffer,
+	}
+	for _, e := range r.inbox {
+		s.inbox = append(s.inbox, inboxEntry{it: tc.instr(e.it), stamp: e.stamp})
+	}
+	for _, q := range r.sbs {
+		s.sbs = append(s.sbs, sbSnap{id: q.id, executed: q.executed, instrs: tc.instrs(q.instrs)})
+	}
+	for dep, list := range r.waiting {
+		s.waiting = append(s.waiting, waitSnap{dep: dep, list: tc.instrs(list)})
+	}
+	for _, o := range r.outQ {
+		s.outQ = append(s.outQ, outToken{dst: o.dst, tok: tc.data(o.tok), loop: o.loop})
+	}
+	return s
+}
+
+func (r *RCU) restore(s rcuState, tc *TokenCloner) {
+	r.port.Restore(s.port)
+	r.inbox = r.inbox[:0]
+	for _, e := range s.inbox {
+		r.inbox = append(r.inbox, inboxEntry{it: tc.instr(e.it), stamp: e.stamp})
+	}
+	r.sbs = r.sbs[:0]
+	r.sbIndex = make(map[uint32]*sbQueue, len(s.sbs))
+	for _, qs := range s.sbs {
+		q := &sbQueue{id: qs.id, executed: qs.executed, instrs: tc.instrs(qs.instrs)}
+		r.sbs = append(r.sbs, q)
+		r.sbIndex[q.id] = q
+	}
+	r.waiting = make(map[DepID][]*InstrToken, len(s.waiting))
+	for _, ws := range s.waiting {
+		r.waiting[ws.dep] = tc.instrs(ws.list)
+	}
+	r.acc, r.accSB, r.accOpen = s.acc, s.accSB, s.accOpen
+	r.exec = tc.instr(s.exec)
+	r.execVal = s.execVal
+	r.busyUntil = s.busyUntil
+	r.execStart = s.execStart
+	r.outQ = r.outQ[:0]
+	for _, o := range s.outQ {
+		r.outQ = append(r.outQ, outToken{dst: o.dst, tok: tc.data(o.tok), loop: o.loop})
+	}
+	r.executed.Restore(s.executed)
+	r.captured.Restore(s.captured)
+	r.emitted.Restore(s.emitted)
+	r.stallCount.Restore(s.stalls)
+	r.maxBuffer = s.maxBuffer
+}
+
+// cpmState is one manager's saved state, including its private memory
+// channel. onDone is shared with the live CPM: it belongs to whoever
+// submitted the kernel, and a fork re-fires it when the fork finishes.
+type cpmState struct {
+	staged *ProgEntry
+
+	state      KernelState
+	prog       *Program
+	onDone     func(*Result)
+	result     *Result
+	fetched    int
+	inflight   int
+	instrBuf   []ProgEntry
+	issuedIdx  int
+	resultsGot int
+	writesOut  int
+	pendingWB  int
+
+	offload        []*DataToken
+	offloadPending [][]*DataToken
+	offloadMem     []*DataToken
+	reinjecting    bool
+
+	issued      stats.CounterState
+	offloaded   stats.CounterState
+	reinjected  stats.CounterState
+	busyReplies stats.CounterState
+	congestedCy stats.CounterState
+
+	alo      noc.ALODetectorState
+	snackALO noc.SnackALOState
+	mem      mem.ControllerState
+}
+
+func (c *CPM) snapshot(tc *TokenCloner) cpmState {
+	s := cpmState{
+		state:       c.state,
+		prog:        tc.prog(c.prog),
+		onDone:      c.onDone,
+		result:      cloneResult(c.result),
+		fetched:     c.fetched,
+		inflight:    c.inflight,
+		instrBuf:    tc.entries(c.instrBuf),
+		issuedIdx:   c.issuedIdx,
+		resultsGot:  c.resultsGot,
+		writesOut:   c.writesOut,
+		pendingWB:   c.pendingWB,
+		offload:     tc.datas(c.offload),
+		offloadMem:  tc.datas(c.offloadMem),
+		reinjecting: c.reinjecting,
+		issued:      c.issued.State(),
+		offloaded:   c.offloaded.State(),
+		reinjected:  c.reinjected.State(),
+		busyReplies: c.busyReplies.State(),
+		congestedCy: c.congestedCy.State(),
+		alo:         c.alo.State(),
+		snackALO:    c.snackALO.State(),
+		mem:         c.mem.State(),
+	}
+	if c.staged != nil {
+		e := tc.entry(*c.staged)
+		s.staged = &e
+	}
+	for _, b := range c.offloadPending {
+		s.offloadPending = append(s.offloadPending, tc.datas(b))
+	}
+	return s
+}
+
+func (c *CPM) restore(s cpmState, tc *TokenCloner) {
+	c.staged = nil
+	if s.staged != nil {
+		e := tc.entry(*s.staged)
+		c.staged = &e
+	}
+	c.state = s.state
+	c.prog = tc.prog(s.prog)
+	c.onDone = s.onDone
+	c.result = cloneResult(s.result)
+	c.fetched = s.fetched
+	c.inflight = s.inflight
+	c.instrBuf = append(c.instrBuf[:0], tc.entries(s.instrBuf)...)
+	c.issuedIdx = s.issuedIdx
+	c.resultsGot = s.resultsGot
+	c.writesOut = s.writesOut
+	c.pendingWB = s.pendingWB
+	c.offload = append(c.offload[:0], tc.datas(s.offload)...)
+	c.offloadPending = c.offloadPending[:0]
+	for _, b := range s.offloadPending {
+		c.offloadPending = append(c.offloadPending, tc.datas(b))
+	}
+	c.offloadMem = append(c.offloadMem[:0], tc.datas(s.offloadMem)...)
+	c.reinjecting = s.reinjecting
+	c.issued.Restore(s.issued)
+	c.offloaded.Restore(s.offloaded)
+	c.reinjected.Restore(s.reinjected)
+	c.busyReplies.Restore(s.busyReplies)
+	c.congestedCy.Restore(s.congestedCy)
+	c.alo.Restore(s.alo)
+	c.snackALO.Restore(s.snackALO)
+	c.mem.Restore(s.mem)
+}
+
+// PlatformState is the whole SnackNoC's saved state: every RCU and
+// every CPM (with its memory channel). The network and engine are saved
+// separately by internal/checkpoint.
+type PlatformState struct {
+	rcus []rcuState
+	cpms []cpmState
+}
+
+// SnapshotState captures the platform's compute layer. The cloner must
+// be the same one passed to the network snapshot of the same pass, so
+// tokens in flight stay aliased with tokens buffered in RCUs and CPMs.
+func (p *Platform) SnapshotState(tc *TokenCloner) *PlatformState {
+	s := &PlatformState{
+		rcus: make([]rcuState, len(p.RCUs)),
+		cpms: make([]cpmState, len(p.CPMs)),
+	}
+	for i, r := range p.RCUs {
+		s.rcus[i] = r.snapshot(tc)
+	}
+	for i, c := range p.CPMs {
+		s.cpms[i] = c.snapshot(tc)
+	}
+	return s
+}
+
+// RestoreState writes a saved state back onto the same platform, again
+// sharing the cloner with the network restore of the same pass.
+func (p *Platform) RestoreState(s *PlatformState, tc *TokenCloner) {
+	for i, r := range p.RCUs {
+		r.restore(s.rcus[i], tc)
+	}
+	for i, c := range p.CPMs {
+		c.restore(s.cpms[i], tc)
+	}
+}

@@ -1,0 +1,72 @@
+package cpu
+
+import "snacknoc/internal/traffic"
+
+// Checkpoint support. A core's mutable state is a handful of scalars
+// plus its reference stream; onMissFn is a method value bound to the
+// core itself and never changes.
+
+// CoreState is one core's saved state.
+type CoreState struct {
+	Stream      traffic.StreamState
+	Retired     int64
+	Outstanding int
+	Blocked     bool
+	IdleUntil   int64
+	SinceStall  int
+	Finished    bool
+	FinishCycle int64
+	StallAt     int
+	StallCycles int64
+}
+
+// State captures the core.
+func (c *Core) State() CoreState {
+	return CoreState{
+		Stream:      c.stream.State(),
+		Retired:     c.retired,
+		Outstanding: c.outstanding,
+		Blocked:     c.blocked,
+		IdleUntil:   c.idleUntil,
+		SinceStall:  c.sinceStall,
+		Finished:    c.finished,
+		FinishCycle: c.finishCycle,
+		StallAt:     c.stallAt,
+		StallCycles: c.stallCycles,
+	}
+}
+
+// Restore writes a saved state back.
+func (c *Core) Restore(s CoreState) {
+	c.stream.Restore(s.Stream)
+	c.retired = s.Retired
+	c.outstanding = s.Outstanding
+	c.blocked = s.Blocked
+	c.idleUntil = s.IdleUntil
+	c.sinceStall = s.SinceStall
+	c.finished = s.Finished
+	c.finishCycle = s.FinishCycle
+	c.stallAt = s.StallAt
+	c.stallCycles = s.StallCycles
+}
+
+// WorkloadState is a workload's saved state: one entry per core.
+type WorkloadState struct {
+	Cores []CoreState
+}
+
+// State captures every core.
+func (w *Workload) State() *WorkloadState {
+	s := &WorkloadState{Cores: make([]CoreState, len(w.Cores))}
+	for i, c := range w.Cores {
+		s.Cores[i] = c.State()
+	}
+	return s
+}
+
+// Restore writes a saved state back onto the same workload.
+func (w *Workload) Restore(s *WorkloadState) {
+	for i, c := range w.Cores {
+		c.Restore(s.Cores[i])
+	}
+}

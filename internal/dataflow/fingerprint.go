@@ -1,0 +1,54 @@
+package dataflow
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Fingerprint returns a SHA-256 content hash of the graph: every node's
+// kind, shape, topology, immediate data, and sparse operand, plus the
+// root. Compilation is a pure function of this content (and the
+// compiler config), so two graphs with equal fingerprints compile to
+// interchangeable programs — the key the compile cache builds on.
+func (g *Graph) Fingerprint() [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wi(int64(len(g.Nodes)))
+	for _, n := range g.Nodes {
+		wi(int64(n.ID))
+		wi(int64(n.Kind))
+		wi(int64(n.Rows))
+		wi(int64(n.Cols))
+		wi(int64(len(n.Inputs)))
+		for _, in := range n.Inputs {
+			wi(int64(in.ID))
+		}
+		wi(int64(len(n.Data)))
+		for _, q := range n.Data {
+			wi(int64(q))
+		}
+		if n.Sp == nil {
+			wi(-1)
+		} else {
+			wi(int64(n.Sp.Rows))
+			wi(int64(n.Sp.Cols))
+			for _, p := range n.Sp.RowPtr {
+				wi(int64(p))
+			}
+			for _, c := range n.Sp.ColIdx {
+				wi(int64(c))
+			}
+			for _, v := range n.Sp.Val {
+				wi(int64(v))
+			}
+		}
+	}
+	wi(int64(g.Root.ID))
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

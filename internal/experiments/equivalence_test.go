@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"testing"
 
@@ -142,6 +143,42 @@ func TestFig12RegenerationByteIdentical(t *testing.T) {
 	var buf bytes.Buffer
 	RenderFig12(&buf, res, kernels)
 	compareArtifact(t, "../../results/fig12.txt", buf.Bytes())
+}
+
+// TestWarmSweepByteIdentical pins the warm-sweep guarantee: a sweep run
+// with checkpoint-forked baselines, memoized zero-load legs, and cached
+// compiles renders byte-identically to the same sweep run cold —
+// including on sharded engines, where forks must restore shard-boundary
+// state exactly.
+func TestWarmSweepByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warm equivalence renders a reduced fig12 sweep twice per shard count")
+	}
+	benches := []*traffic.Profile{traffic.LULESH(), traffic.FMM()}
+	kernels := []cpu.KernelName{cpu.KernelMAC, cpu.KernelReduction}
+	render := func(t *testing.T) []byte {
+		res, err := RunFig12(benches, kernels, DefaultKernelDims(), Scale(0.05), []bool{false, true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		RenderFig12(&buf, res, kernels)
+		return buf.Bytes()
+	}
+	for _, shards := range []int{0, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			if shards != 0 {
+				withShards(t, shards)
+			}
+			cold := render(t)
+			SetWarmSweeps(true)
+			t.Cleanup(func() { SetWarmSweeps(false) })
+			warm := render(t)
+			if !bytes.Equal(cold, warm) {
+				t.Fatalf("warm sweep diverged from cold sweep:\ncold:\n%s\nwarm:\n%s", cold, warm)
+			}
+		})
+	}
 }
 
 func TestFig13RegenerationByteIdentical(t *testing.T) {

@@ -149,8 +149,17 @@ func BuildKernelGraph(k cpu.KernelName, d KernelDims, seed uint64) (*dataflow.Gr
 	return nil, fmt.Errorf("experiments: unknown kernel %q", k)
 }
 
-// CompileKernel builds and compiles one kernel for an nRCU-node platform.
+// CompileKernel builds and compiles one kernel for an nRCU-node
+// platform, memoized on (kernel, dims, nRCU, seed) — see
+// compilecache.go. The returned program is shared between callers and
+// must be treated as read-only; CPM.Submit clones it before execution.
 func CompileKernel(k cpu.KernelName, d KernelDims, nRCU int, seed uint64) (*core.Program, error) {
+	key := compileKey{kernel: k, dims: d, nRCU: nRCU, seed: seed}
+	if v, ok := compileCache.Load(key); ok {
+		compileHits.Add(1)
+		return v.(*core.Program), nil
+	}
+	compileMisses.Add(1)
 	g, err := BuildKernelGraph(k, d, seed)
 	if err != nil {
 		return nil, err
@@ -160,5 +169,8 @@ func CompileKernel(k cpu.KernelName, d KernelDims, nRCU int, seed uint64) (*core
 		return nil, err
 	}
 	prog.Name = string(k)
-	return prog, nil
+	// Concurrent cells may race to compile the same key; converge on a
+	// single stored program so every caller shares one instance.
+	v, _ := compileCache.LoadOrStore(key, prog)
+	return v.(*core.Program), nil
 }

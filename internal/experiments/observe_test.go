@@ -7,6 +7,7 @@ import (
 
 	"snacknoc/internal/cpu"
 	"snacknoc/internal/trace"
+	"snacknoc/internal/traffic"
 )
 
 // TestTraceDisabledByteIdentity pins the tracer's non-interference
@@ -73,6 +74,48 @@ func TestTraceDisabledByteIdentityCompute(t *testing.T) {
 	}
 	if TraceCollector().Events() == 0 {
 		t.Fatal("traced kernel runs recorded no events")
+	}
+}
+
+// TestCompileCacheHitsAcrossCells pins the compiled-program cache: the
+// second co-run of the same (kernel, dims, mesh, seed) cell compiles
+// nothing, and the hit surfaces in the metrics registry as
+// compiler.cache.hits.
+func TestCompileCacheHitsAcrossCells(t *testing.T) {
+	ResetCompileCache()
+	EnableMetrics()
+	defer DisableObservability()
+	spec := CoRunSpec{
+		Bench: traffic.FMM(), Kernel: cpu.KernelReduction,
+		Dims: DefaultKernelDims(), Width: 4, Height: 4,
+		Priority: true, Scale: Scale(0.02),
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := RunCoRun(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := CompileCacheStats()
+	if misses != 1 {
+		t.Fatalf("got %d compile misses across two identical cells, want exactly 1", misses)
+	}
+	if hits < 1 {
+		t.Fatalf("got %d compile-cache hits, want at least 1", hits)
+	}
+	maxHits, seen := 0.0, false
+	for _, s := range MetricsSnapshots() {
+		if v, ok := s.Values["compiler.cache.hits"]; ok {
+			seen = true
+			if v > maxHits {
+				maxHits = v
+			}
+		}
+	}
+	if !seen {
+		t.Fatal("no metrics snapshot exports compiler.cache.hits")
+	}
+	if maxHits < 1 {
+		t.Fatalf("compiler.cache.hits peaked at %v, want at least 1", maxHits)
 	}
 }
 

@@ -1,0 +1,33 @@
+package traffic
+
+// Checkpoint support: the RNG and the per-core reference stream are the
+// only mutable state this package owns. Their states are plain values,
+// so one saved state restores any number of times.
+
+// RNGState is a generator's saved position in its sequence.
+type RNGState struct{ State uint64 }
+
+// State captures the generator.
+func (r *RNG) State() RNGState { return RNGState{State: r.state} }
+
+// Restore writes a saved position back.
+func (r *RNG) Restore(s RNGState) { r.state = s.State }
+
+// StreamState is a Stream's saved position: the RNG plus the sequential-
+// run cursor.
+type StreamState struct {
+	RNG RNGState
+	Seq uint64
+	Rep int
+}
+
+// State captures the stream.
+func (s *Stream) State() StreamState {
+	return StreamState{RNG: s.rng.State(), Seq: s.seq, Rep: s.rep}
+}
+
+// Restore writes a saved position back.
+func (s *Stream) Restore(st StreamState) {
+	s.rng.Restore(st.RNG)
+	s.seq, s.rep = st.Seq, st.Rep
+}

@@ -5,7 +5,7 @@
 # points (see EXPERIMENTS.md, "Performance").
 #
 # Environment:
-#   BENCH_OUT       output file            (default BENCH_6.json)
+#   BENCH_OUT       output file            (default BENCH_7.json)
 #   BENCHTIME       go test -benchtime    (default 1x; use e.g. 3x to average)
 #   BENCH_RE        go test -bench regexp (default .)
 #   SWEEP_SCALE     sweep -scale          (default 0.25; 0 skips the sweep)
@@ -15,7 +15,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_6.json}
+out=${BENCH_OUT:-BENCH_7.json}
 benchtime=${BENCHTIME:-1x}
 benchre=${BENCH_RE:-.}
 sweepscale=${SWEEP_SCALE:-0.25}
@@ -70,11 +70,36 @@ if [ "$sweepscale" != "0" ]; then
     fi
 fi
 
+# Cold-vs-warm sweep: the same reduced fig12 slice (4 kernels x 2
+# priority modes per benchmark) run from scratch and with -warm-sweeps
+# (checkpoint-forked baselines + memoized zero-load legs + the compile
+# cache). Serial workers so the ratio measures work removed, not pool
+# scheduling. Output is byte-identical by construction (equivalence_test
+# pins it); only wall clock differs.
+warm_cold=0
+warm_warm=0
+warm_ran=false
+if [ "$sweepscale" != "0" ]; then
+    go build -o /tmp/snackbench.$$ ./cmd/snackbench
+    echo "== fig12 slice (CoMD,Radix), cold vs -warm-sweeps (-j 1, scale $sweepscale) ==" >&2
+    t0=$(date +%s.%N)
+    /tmp/snackbench.$$ -exp fig12 -benchmarks CoMD,Radix -scale "$sweepscale" -j 1 >/dev/null
+    t1=$(date +%s.%N)
+    /tmp/snackbench.$$ -exp fig12 -benchmarks CoMD,Radix -scale "$sweepscale" -j 1 -warm-sweeps >/dev/null
+    t2=$(date +%s.%N)
+    rm -f /tmp/snackbench.$$
+    warm_cold=$(awk "BEGIN{printf \"%.3f\", $t1-$t0}")
+    warm_warm=$(awk "BEGIN{printf \"%.3f\", $t2-$t1}")
+    warm_ran=true
+    echo "fig12 slice wall: cold ${warm_cold}s, warm ${warm_warm}s" >&2
+fi
+
 # Benchmark lines are "<name> <N> <value> <unit> <value> <unit> ...";
 # fold each into JSON with every metric keyed by its unit. When a baseline
 # file is given, append a before/after ns/op comparison per benchmark.
 awk -v sweep_j1="$sweep_j1" -v sweep_jn="$sweep_jn" -v ncpu="$ncpu" \
     -v workers="$workers" -v sweep_ran="$sweep_ran" -v baseline="$baseline" \
+    -v warm_cold="$warm_cold" -v warm_warm="$warm_warm" -v warm_ran="$warm_ran" \
     -v note="$note" \
     -v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" '
 BEGIN {
@@ -128,6 +153,14 @@ END {
     } else {
         printf "  \"sweep\": {\"skipped\": true, \"reason\": \"single-CPU host\",\n"
         printf "    \"workers\": %s, \"cpus\": %s},\n", workers, ncpu
+    }
+    if (warm_ran == "true") {
+        printf "  \"warm_sweep\": {\"experiment\": \"fig12\", \"benchmarks\": [\"CoMD\", \"Radix\"],\n"
+        printf "    \"wall_s_cold\": %s, \"wall_s_warm\": %s,\n", warm_cold, warm_warm
+        wspeed = (warm_warm > 0) ? warm_cold / warm_warm : 0
+        printf "    \"speedup\": %.2f},\n", wspeed
+    } else {
+        printf "  \"warm_sweep\": {\"skipped\": true},\n"
     }
     if (baseline != "") {
         printf "  \"baseline\": \"%s\",\n  \"vs_baseline\": {\n", baseline

@@ -47,6 +47,13 @@ go test ./...
 echo "== go test -race -short ./internal/experiments ./internal/noc ./internal/sim =="
 go test -race -short ./internal/experiments ./internal/noc ./internal/sim
 
+# Checkpoint round-trip smoke: the warm-sweep machinery rests on fork
+# determinism (one snapshot restored repeatedly replays the identical
+# future). Run the property tests by name so a checkpoint regression is
+# called out as such rather than surfacing as a figure diff later.
+echo "== checkpoint round-trip (fork determinism) =="
+go test -run 'TestForkDeterminism|TestStandaloneRoundTrip' -count=1 ./internal/checkpoint
+
 # -heavy (or CI_HEAVY=1) additionally regenerates the fig12/fig13 full
 # sweeps (minutes each) and byte-compares them against results/.
 if [ "$heavy" = "1" ]; then
@@ -84,7 +91,7 @@ go run ./cmd/metricsdiff "$obs_metrics" results/smoke-metrics.json
 # BENCH_GUARD=0 skips the guard (e.g. on a machine the baseline was not
 # recorded on, where absolute ns/op is not comparable).
 if [ "${BENCH_GUARD:-1}" != "0" ]; then
-    guard_base_file=${BENCH_GUARD_BASE:-BENCH_6.json}
+    guard_base_file=${BENCH_GUARD_BASE:-BENCH_7.json}
     guard_pct=${BENCH_GUARD_PCT:-2}
     base=$(awk -F'"ns/op": ' '/"BenchmarkFig2RouterUsage"/ {split($2, a, /[,}]/); print a[1]; exit}' "$guard_base_file")
     if [ -z "$base" ]; then

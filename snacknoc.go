@@ -157,10 +157,14 @@ func (p *Platform) executeLocked(ctx *Context) (*Stats, error) {
 		if err != nil {
 			return nil, err
 		}
-		prog, err := compiler.Compile(g, ccfg)
+		cached, err := compiler.CompileCached(g, ccfg)
 		if err != nil {
 			return nil, err
 		}
+		// The cached program is shared; relabel a shallow copy (entries
+		// stay shared read-only — CPM.Submit clones before execution).
+		prog := new(core.Program)
+		*prog = *cached
 		prog.Name = ctx.name
 		res, err := p.core.Run(prog, maxKernelCycles(prog))
 		if err != nil {
