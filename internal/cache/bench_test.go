@@ -1,0 +1,92 @@
+package cache
+
+import (
+	"testing"
+
+	"snacknoc/internal/noc"
+	"snacknoc/internal/sim"
+)
+
+func benchSystem(b *testing.B) (*sim.Engine, *System) {
+	b.Helper()
+	eng := sim.NewEngine()
+	net, err := noc.New(eng, noc.BiNoCHS(4, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := NewSystem(eng, net, DefaultSystemConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, sys
+}
+
+// BenchmarkL2Directory stresses the directory/transaction path: every
+// node walks a shared block range with a deterministic mix of reads and
+// writes, forcing sharer tracking, invalidations, recalls, MSHR merges
+// and queued same-block transactions at the home banks.
+func BenchmarkL2Directory(b *testing.B) {
+	eng, sys := benchSystem(b)
+	const accessesPerOp = 2048
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := uint64(12345)
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return int((rng >> 33) % uint64(n))
+		}
+		issued, completed := 0, 0
+		for a := 0; a < accessesPerOp; a++ {
+			issued++
+			sys.L1s[next(16)].Access(uint64(next(512)), next(4) == 0, func(int64) { completed++ })
+			if a%8 == 7 {
+				eng.Run(20)
+			}
+		}
+		eng.RunUntil(func() bool { return completed == issued }, 10_000_000)
+		if completed != issued {
+			b.Fatalf("completed %d of %d accesses", completed, issued)
+		}
+	}
+	b.ReportMetric(accessesPerOp, "accesses/op")
+}
+
+// BenchmarkCacheSystemGEMM drives a tiled-GEMM address stream through
+// the hierarchy: rows of C are partitioned across cores, A rows stream
+// privately, and the shared B matrix is read by every core, so the mix
+// is dominated by L1 hits with steady shared-read misses — the co-run
+// traffic shape of the fig12/fig13 experiments.
+func BenchmarkCacheSystemGEMM(b *testing.B) {
+	eng, sys := benchSystem(b)
+	const n = 20
+	baseA, baseB, baseC := uint64(0), uint64(4096), uint64(8192)
+	blk := func(base uint64, idx int) uint64 { return base + uint64(idx/8) }
+	accesses := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		issued, completed := 0, 0
+		issue := func(node int, block uint64, write bool) {
+			issued++
+			sys.L1s[node].Access(block, write, func(int64) { completed++ })
+		}
+		for i := 0; i < n; i++ {
+			node := i % 16
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					issue(node, blk(baseA, i*n+k), false)
+					issue(node, blk(baseB, k*n+j), false)
+				}
+				issue(node, blk(baseC, i*n+j), true)
+				eng.Run(30)
+			}
+		}
+		eng.RunUntil(func() bool { return completed == issued }, 50_000_000)
+		if completed != issued {
+			b.Fatalf("completed %d of %d accesses", completed, issued)
+		}
+		accesses = issued
+	}
+	b.ReportMetric(float64(accesses), "accesses/op")
+}

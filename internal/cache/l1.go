@@ -8,13 +8,22 @@ import (
 	"snacknoc/internal/stats"
 )
 
-// mshr tracks one outstanding L1 miss.
-type mshr struct {
+// l1MSHRSets is the number of MSHR hash chains; a power of two so the
+// set index is a mask. Outstanding misses per L1 are bounded by the
+// core's access window, so chains stay short.
+const l1MSHRSets = 64
+
+// mshrEntry tracks one outstanding L1 miss. Entries live in a flat slab
+// chained per set (block & mask) with a free list — the miss path and
+// the fill path never touch a map.
+type mshrEntry struct {
+	block   uint64
 	write   bool
 	waiters []func(cycle int64)
 	// retry holds conflicting accesses (e.g. a write arriving while a
 	// read miss is outstanding) re-issued once the fill completes.
 	retry []retryReq
+	next  int32
 }
 
 type retryReq struct {
@@ -33,7 +42,18 @@ type L1 struct {
 	// from a shard goroutine.
 	eng   *sim.Engine
 	cache *Cache
-	mshrs map[uint64]*mshr
+	pool  *msgPool
+
+	mshrHead [l1MSHRSets]int32 // per-set chain heads, -1 when empty
+	mshrSlab []mshrEntry
+	mshrFree int32 // slab free-list head, -1 when empty
+	mshrN    int
+
+	// fill scratch: waiters and retries are copied here before their
+	// MSHR is released, so callbacks that recursively Access (and
+	// allocate fresh MSHRs) cannot invalidate the iteration.
+	waitScratch  []func(cycle int64)
+	retryScratch []retryReq
 
 	hits     stats.Counter
 	misses   stats.Counter
@@ -42,20 +62,26 @@ type L1 struct {
 }
 
 func newL1(sys *System, node int) *L1 {
-	return &L1{
-		sys:   sys,
-		node:  node,
-		eng:   sys.Net.EngFor(noc.NodeID(node)),
-		cache: NewCache(sys.cfg.L1Bytes, sys.cfg.L1Ways),
-		mshrs: make(map[uint64]*mshr),
+	eng := sys.Net.EngFor(noc.NodeID(node))
+	l := &L1{
+		sys:      sys,
+		node:     node,
+		eng:      eng,
+		cache:    NewCache(sys.cfg.L1Bytes, sys.cfg.L1Ways),
+		pool:     sys.poolFor(eng),
+		mshrFree: -1,
 	}
+	for i := range l.mshrHead {
+		l.mshrHead[i] = -1
+	}
+	return l
 }
 
 // Cache exposes the tag store for inspection in tests and reports.
 func (l *L1) Cache() *Cache { return l.cache }
 
 // Outstanding returns the number of misses in flight.
-func (l *L1) Outstanding() int { return len(l.mshrs) }
+func (l *L1) Outstanding() int { return l.mshrN }
 
 // AvgMissLatency returns the mean L1-miss service time in cycles.
 func (l *L1) AvgMissLatency() float64 {
@@ -70,6 +96,64 @@ func (l *L1) Hits() int64 { return l.hits.Value() }
 
 // Misses returns the L1 miss count (upgrades included).
 func (l *L1) Misses() int64 { return l.misses.Value() }
+
+// mshrFind returns the slab index of block's MSHR, or -1.
+func (l *L1) mshrFind(block uint64) int32 {
+	for n := l.mshrHead[block&(l1MSHRSets-1)]; n >= 0; n = l.mshrSlab[n].next {
+		if l.mshrSlab[n].block == block {
+			return n
+		}
+	}
+	return -1
+}
+
+// mshrAlloc allocates an MSHR for block off the free list. The returned
+// pointer is invalidated by the next mshrAlloc.
+func (l *L1) mshrAlloc(block uint64, write bool) *mshrEntry {
+	var n int32
+	if l.mshrFree >= 0 {
+		n = l.mshrFree
+		l.mshrFree = l.mshrSlab[n].next
+	} else {
+		l.mshrSlab = append(l.mshrSlab, mshrEntry{})
+		n = int32(len(l.mshrSlab) - 1)
+	}
+	e := &l.mshrSlab[n]
+	set := block & (l1MSHRSets - 1)
+	e.block, e.write, e.next = block, write, l.mshrHead[set]
+	l.mshrHead[set] = n
+	l.mshrN++
+	return e
+}
+
+// mshrRelease unlinks block's MSHR from its set chain and recycles the
+// slab cell, keeping the waiter/retry slice capacity.
+func (l *L1) mshrRelease(block uint64, n int32) {
+	set := block & (l1MSHRSets - 1)
+	if l.mshrHead[set] == n {
+		l.mshrHead[set] = l.mshrSlab[n].next
+	} else {
+		for p := l.mshrHead[set]; p >= 0; p = l.mshrSlab[p].next {
+			if l.mshrSlab[p].next == n {
+				l.mshrSlab[p].next = l.mshrSlab[n].next
+				break
+			}
+		}
+	}
+	e := &l.mshrSlab[n]
+	for i := range e.waiters {
+		e.waiters[i] = nil
+	}
+	e.waiters = e.waiters[:0]
+	for i := range e.retry {
+		e.retry[i] = retryReq{}
+	}
+	e.retry = e.retry[:0]
+	e.block, e.write = 0, false
+	e.next = l.mshrFree
+	l.mshrFree = n
+	l.mshrN--
+}
 
 // Access issues one memory operation for the given cache block. done is
 // invoked when the operation completes (hit latency later on a hit, after
@@ -108,7 +192,8 @@ func (l *L1) missPath(block uint64, write bool, done func(cycle int64)) bool {
 			done(cycle)
 		}
 	}
-	if m, ok := l.mshrs[block]; ok {
+	if n := l.mshrFind(block); n >= 0 {
+		m := &l.mshrSlab[n]
 		if write && !m.write {
 			// A write cannot merge into a read miss: it needs exclusive
 			// permission. Park it and re-issue after the fill.
@@ -118,59 +203,71 @@ func (l *L1) missPath(block uint64, write bool, done func(cycle int64)) bool {
 		}
 		return false
 	}
-	m := &mshr{write: write, waiters: []func(int64){wrapped}}
-	l.mshrs[block] = m
+	e := l.mshrAlloc(block, write)
+	e.waiters = append(e.waiters, wrapped)
 	t := GetS
 	if write {
 		t = GetX
 	}
-	send(l.sys.Net, l.nodeID(), l.sys.Home(block),
-		&Msg{Type: t, To: RoleL2, Block: block, Req: l.nodeID()}, start)
+	req := l.pool.get()
+	req.Type, req.To, req.Block, req.Req = t, RoleL2, block, l.nodeID()
+	send(l.sys.Net, l.nodeID(), l.sys.Home(block), req, start)
 	return false
 }
 
-// handle processes protocol messages addressed to this L1.
+// handle processes protocol messages addressed to this L1. Every type
+// delivered here is consumed, so the message is recycled on return.
 func (l *L1) handle(m *Msg, cycle int64) {
 	switch m.Type {
 	case DataResp, DataRespX:
-		msh, ok := l.mshrs[m.Block]
-		if !ok {
+		n := l.mshrFind(m.Block)
+		if n < 0 {
 			panic(fmt.Sprintf("l1 %d: fill for block %d with no MSHR", l.node, m.Block))
 		}
-		delete(l.mshrs, m.Block)
+		msh := &l.mshrSlab[n]
+		wasWrite := msh.write
+		l.waitScratch = append(l.waitScratch[:0], msh.waiters...)
+		l.retryScratch = append(l.retryScratch[:0], msh.retry...)
+		l.mshrRelease(m.Block, n)
 		writable := m.Type == DataRespX
-		if v, evicted := l.cache.Fill(m.Block, writable, msh.write); evicted && v.Dirty {
-			send(l.sys.Net, l.nodeID(), l.sys.Home(v.Block),
-				&Msg{Type: PutData, To: RoleL2, Block: v.Block, Req: l.nodeID()}, cycle)
+		if v, evicted := l.cache.Fill(m.Block, writable, wasWrite); evicted && v.Dirty {
+			wb := l.pool.get()
+			wb.Type, wb.To, wb.Block, wb.Req = PutData, RoleL2, v.Block, l.nodeID()
+			send(l.sys.Net, l.nodeID(), l.sys.Home(v.Block), wb, cycle)
 		}
-		for _, w := range msh.waiters {
+		for _, w := range l.waitScratch {
 			w(cycle)
 		}
-		for _, r := range msh.retry {
+		block := m.Block
+		for _, r := range l.retryScratch {
 			r := r
 			l.eng.ScheduleAfter(1, func() {
-				l.Access(m.Block, r.write, r.done)
+				l.Access(block, r.write, r.done)
 			})
 		}
 
 	case Recall:
 		_, dirty := l.cache.Downgrade(m.Block)
-		send(l.sys.Net, l.nodeID(), l.sys.Home(m.Block),
-			&Msg{Type: RecallAck, To: RoleL2, Block: m.Block, Req: m.Req, WithData: dirty}, cycle)
+		ack := l.pool.get()
+		ack.Type, ack.To, ack.Block, ack.Req, ack.WithData = RecallAck, RoleL2, m.Block, m.Req, dirty
+		send(l.sys.Net, l.nodeID(), l.sys.Home(m.Block), ack, cycle)
 
 	case RecallInv:
 		_, dirty := l.cache.Invalidate(m.Block)
-		send(l.sys.Net, l.nodeID(), l.sys.Home(m.Block),
-			&Msg{Type: RecallAck, To: RoleL2, Block: m.Block, Req: m.Req, WithData: dirty}, cycle)
+		ack := l.pool.get()
+		ack.Type, ack.To, ack.Block, ack.Req, ack.WithData = RecallAck, RoleL2, m.Block, m.Req, dirty
+		send(l.sys.Net, l.nodeID(), l.sys.Home(m.Block), ack, cycle)
 
 	case Inv:
 		l.cache.Invalidate(m.Block)
-		send(l.sys.Net, l.nodeID(), l.sys.Home(m.Block),
-			&Msg{Type: InvAck, To: RoleL2, Block: m.Block, Req: m.Req}, cycle)
+		ack := l.pool.get()
+		ack.Type, ack.To, ack.Block, ack.Req = InvAck, RoleL2, m.Block, m.Req
+		send(l.sys.Net, l.nodeID(), l.sys.Home(m.Block), ack, cycle)
 
 	default:
 		panic(fmt.Sprintf("l1 %d: unexpected message %s", l.node, m.Type))
 	}
+	l.pool.put(m)
 }
 
 func (l *L1) nodeID() noc.NodeID { return noc.NodeID(l.node) }

@@ -9,6 +9,9 @@ import (
 )
 
 // dirEntry is the directory state for one block at its home bank.
+// Entries live in a flat slab indexed by an open-addressed block table;
+// once created they persist for the run (directory state is permanent),
+// so slab pointers are stable except across a creating entry() call.
 type dirEntry struct {
 	sharers  nodeSet
 	owner    noc.NodeID
@@ -17,8 +20,11 @@ type dirEntry struct {
 
 // l2txn is the in-flight transaction for one block; the home bank
 // serializes transactions per block, which keeps the protocol race-free.
+// pending holds requests that arrived while the transaction was busy,
+// in arrival order (the per-block queue map folded into the slot).
 type l2txn struct {
 	req        *Msg
+	pending    []*Msg
 	needAcks   int
 	waitRecall bool
 	waitMem    bool
@@ -34,9 +40,15 @@ type L2Bank struct {
 	// are scheduled here so sharded runs stay race-free.
 	eng   *sim.Engine
 	cache *Cache
-	dir   map[uint64]*dirEntry
-	txns  map[uint64]*l2txn
-	queue map[uint64][]*Msg
+	pool  *msgPool
+
+	dirTab    blockTable // block -> dirSlots index
+	dirSlots  []dirEntry
+	dirBlocks []uint64 // block of each slot, for deterministic snapshots
+
+	txnTab   blockTable // block -> txnSlots index
+	txnSlots []l2txn
+	txnFree  []int32
 
 	hits, misses stats.Counter
 	recalls      stats.Counter
@@ -44,14 +56,13 @@ type L2Bank struct {
 }
 
 func newL2Bank(sys *System, node noc.NodeID) *L2Bank {
+	eng := sys.Net.EngFor(node)
 	return &L2Bank{
 		sys:   sys,
 		node:  node,
-		eng:   sys.Net.EngFor(node),
+		eng:   eng,
 		cache: NewCache(sys.cfg.L2BankBytes, sys.cfg.L2Ways),
-		dir:   make(map[uint64]*dirEntry),
-		txns:  make(map[uint64]*l2txn),
-		queue: make(map[uint64][]*Msg),
+		pool:  sys.poolFor(eng),
 	}
 }
 
@@ -64,35 +75,50 @@ func (b *L2Bank) Hits() int64 { return b.hits.Value() }
 // Misses returns L2 misses that went to memory.
 func (b *L2Bank) Misses() int64 { return b.misses.Value() }
 
+// entry returns the directory slot for block, creating it on first use.
+// The returned pointer is invalidated by the next creating entry call.
 func (b *L2Bank) entry(block uint64) *dirEntry {
-	e, ok := b.dir[block]
-	if !ok {
-		e = &dirEntry{}
-		b.dir[block] = e
+	if i, ok := b.dirTab.get(block); ok {
+		return &b.dirSlots[i]
 	}
-	return e
+	b.dirSlots = append(b.dirSlots, dirEntry{})
+	b.dirBlocks = append(b.dirBlocks, block)
+	i := int32(len(b.dirSlots) - 1)
+	b.dirTab.put(block, i)
+	return &b.dirSlots[i]
 }
 
-// handle processes protocol messages addressed to this bank.
+// txn returns the active transaction for block, or nil.
+func (b *L2Bank) txn(block uint64) *l2txn {
+	if i, ok := b.txnTab.get(block); ok {
+		return &b.txnSlots[i]
+	}
+	return nil
+}
+
+// handle processes protocol messages addressed to this bank. GetS/GetX
+// are retained (they become the transaction's request and are recycled
+// at completion); every other type is consumed here.
 func (b *L2Bank) handle(m *Msg, cycle int64) {
 	switch m.Type {
 	case GetS, GetX:
-		if _, busy := b.txns[m.Block]; busy {
-			b.queue[m.Block] = append(b.queue[m.Block], m)
+		if t := b.txn(m.Block); t != nil {
+			t.pending = append(t.pending, m)
 			return
 		}
 		b.start(m)
+		return
 
 	case PutData:
 		e := b.entry(m.Block)
-		if t, ok := b.txns[m.Block]; ok && t.waitRecall && e.hasOwner && e.owner == m.From {
+		if t := b.txn(m.Block); t != nil && t.waitRecall && e.hasOwner && e.owner == m.From {
 			// The owner's voluntary writeback crossed our recall; accept
 			// it as the recall's answer.
 			b.fill(m.Block, true, cycle)
 			e.hasOwner = false
 			t.waitRecall = false
 			b.advance(m.Block, cycle)
-			return
+			break
 		}
 		if e.hasOwner && e.owner == m.From {
 			e.hasOwner = false
@@ -100,10 +126,10 @@ func (b *L2Bank) handle(m *Msg, cycle int64) {
 		b.fill(m.Block, true, cycle)
 
 	case RecallAck:
-		t, ok := b.txns[m.Block]
-		if !ok || !t.waitRecall {
+		t := b.txn(m.Block)
+		if t == nil || !t.waitRecall {
 			// A stale ack from a recall answered by a crossing PutData.
-			return
+			break
 		}
 		if m.WithData {
 			b.fill(m.Block, true, cycle)
@@ -119,17 +145,17 @@ func (b *L2Bank) handle(m *Msg, cycle int64) {
 		b.advance(m.Block, cycle)
 
 	case InvAck:
-		t, ok := b.txns[m.Block]
-		if !ok || t.needAcks == 0 {
-			return
+		t := b.txn(m.Block)
+		if t == nil || t.needAcks == 0 {
+			break
 		}
 		t.needAcks--
 		b.advance(m.Block, cycle)
 
 	case MemResp:
-		t, ok := b.txns[m.Block]
-		if !ok || !t.waitMem {
-			return
+		t := b.txn(m.Block)
+		if t == nil || !t.waitMem {
+			break
 		}
 		t.waitMem = false
 		b.fill(m.Block, false, cycle)
@@ -138,11 +164,23 @@ func (b *L2Bank) handle(m *Msg, cycle int64) {
 	default:
 		panic(fmt.Sprintf("l2 %d: unexpected message %s", b.node, m.Type))
 	}
+	b.pool.put(m)
 }
 
-// start begins a transaction after the bank's lookup latency.
+// start begins a transaction after the bank's lookup latency, reusing a
+// free transaction slot.
 func (b *L2Bank) start(m *Msg) {
-	b.txns[m.Block] = &l2txn{req: m}
+	var i int32
+	if k := len(b.txnFree); k > 0 {
+		i = b.txnFree[k-1]
+		b.txnFree = b.txnFree[:k-1]
+	} else {
+		b.txnSlots = append(b.txnSlots, l2txn{})
+		i = int32(len(b.txnSlots) - 1)
+	}
+	t := &b.txnSlots[i]
+	*t = l2txn{req: m, pending: t.pending[:0]}
+	b.txnTab.put(m.Block, i)
 	block := m.Block
 	b.eng.ScheduleAfter(b.sys.cfg.L2Lat, func() {
 		b.advance(block, b.eng.Cycle())
@@ -152,8 +190,8 @@ func (b *L2Bank) start(m *Msg) {
 // advance drives the transaction state machine for a block until it
 // blocks on a remote event or completes.
 func (b *L2Bank) advance(block uint64, cycle int64) {
-	t, ok := b.txns[block]
-	if !ok || t.waitRecall || t.waitMem || t.needAcks > 0 {
+	t := b.txn(block)
+	if t == nil || t.waitRecall || t.waitMem || t.needAcks > 0 {
 		return
 	}
 	e := b.entry(block)
@@ -167,8 +205,9 @@ func (b *L2Bank) advance(block uint64, cycle int64) {
 		}
 		b.recalls.Inc()
 		t.waitRecall = true
-		send(b.sys.Net, b.node, e.owner,
-			&Msg{Type: kind, To: RoleL1, Block: block, Req: req.Req}, cycle)
+		rc := b.pool.get()
+		rc.Type, rc.To, rc.Block, rc.Req = kind, RoleL1, block, req.Req
+		send(b.sys.Net, b.node, e.owner, rc, cycle)
 		return
 	}
 	if req.Type == GetX {
@@ -179,8 +218,9 @@ func (b *L2Bank) advance(block uint64, cycle int64) {
 			}
 			b.invs.Inc()
 			pending++
-			send(b.sys.Net, b.node, s,
-				&Msg{Type: Inv, To: RoleL1, Block: block, Req: req.Req}, cycle)
+			inv := b.pool.get()
+			inv.Type, inv.To, inv.Block, inv.Req = Inv, RoleL1, block, req.Req
+			send(b.sys.Net, b.node, s, inv, cycle)
 			e.sharers.del(s)
 		})
 		if pending > 0 {
@@ -194,8 +234,9 @@ func (b *L2Bank) advance(block uint64, cycle int64) {
 		b.misses.Inc()
 		t.waitMem = true
 		t.wentToMem = true
-		send(b.sys.Net, b.node, b.sys.MemFor(block),
-			&Msg{Type: MemRead, To: RoleMem, Block: block, Req: req.Req}, cycle)
+		rd := b.pool.get()
+		rd.Type, rd.To, rd.Block, rd.Req = MemRead, RoleMem, block, req.Req
+		send(b.sys.Net, b.node, b.sys.MemFor(block), rd, cycle)
 		return
 	}
 	if !t.wentToMem {
@@ -209,38 +250,50 @@ func (b *L2Bank) advance(block uint64, cycle int64) {
 		if e.hasOwner && e.owner == req.Req {
 			e.hasOwner = false
 		}
-		send(b.sys.Net, b.node, req.Req,
-			&Msg{Type: DataResp, To: RoleL1, Block: block, Req: req.Req}, cycle)
+		resp := b.pool.get()
+		resp.Type, resp.To, resp.Block, resp.Req = DataResp, RoleL1, block, req.Req
+		send(b.sys.Net, b.node, req.Req, resp, cycle)
 	} else {
 		e.owner, e.hasOwner = req.Req, true
 		e.sharers.clear()
-		send(b.sys.Net, b.node, req.Req,
-			&Msg{Type: DataRespX, To: RoleL1, Block: block, Req: req.Req}, cycle)
+		resp := b.pool.get()
+		resp.Type, resp.To, resp.Block, resp.Req = DataRespX, RoleL1, block, req.Req
+		send(b.sys.Net, b.node, req.Req, resp, cycle)
 	}
 	b.complete(block)
 }
 
-// complete retires the active transaction and starts the next queued one.
+// complete retires the active transaction: its request is recycled, and
+// the oldest pending request (if any) restarts the slot in place.
 func (b *L2Bank) complete(block uint64) {
-	delete(b.txns, block)
-	q := b.queue[block]
-	if len(q) == 0 {
-		delete(b.queue, block)
+	i, ok := b.txnTab.get(block)
+	if !ok {
 		return
 	}
-	next := q[0]
-	if len(q) == 1 {
-		delete(b.queue, block)
-	} else {
-		b.queue[block] = q[1:]
+	t := &b.txnSlots[i]
+	b.pool.put(t.req)
+	t.req = nil
+	if len(t.pending) == 0 {
+		b.txnTab.del(block)
+		b.txnFree = append(b.txnFree, i)
+		return
 	}
-	b.start(next)
+	next := t.pending[0]
+	n := copy(t.pending, t.pending[1:])
+	t.pending[n] = nil
+	t.pending = t.pending[:n]
+	t.req = next
+	t.needAcks, t.waitRecall, t.waitMem, t.wentToMem = 0, false, false, false
+	b.eng.ScheduleAfter(b.sys.cfg.L2Lat, func() {
+		b.advance(block, b.eng.Cycle())
+	})
 }
 
 // fill installs a block in the data array, writing back a dirty victim.
 func (b *L2Bank) fill(block uint64, dirty bool, cycle int64) {
 	if v, evicted := b.cache.Fill(block, true, dirty); evicted && v.Dirty {
-		send(b.sys.Net, b.node, b.sys.MemFor(v.Block),
-			&Msg{Type: MemWrite, To: RoleMem, Block: v.Block, Req: b.node}, cycle)
+		wb := b.pool.get()
+		wb.Type, wb.To, wb.Block, wb.Req = MemWrite, RoleMem, v.Block, noc.NodeID(b.node)
+		send(b.sys.Net, b.node, b.sys.MemFor(v.Block), wb, cycle)
 	}
 }

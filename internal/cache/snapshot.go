@@ -6,14 +6,37 @@ import (
 )
 
 // Checkpoint support. The hierarchy's mutable state is the tag stores,
-// the L1 MSHR files, the L2 directory/transaction/queue maps and the
+// the L1 MSHR files, the L2 directory and transaction slabs and the
 // DRAM controllers; pending lookup-latency and fill events live in the
-// engine snapshot. Msg values are immutable once sent, so saved states
-// share *Msg pointers; completion callbacks (mshr waiters, retry funcs)
-// are closures over stable component roots plus captured values, so the
-// func values themselves are shared too. Everything else is deep-copied
-// on snapshot AND again on restore, so one SystemState supports any
-// number of forks.
+// engine snapshot. Msg values are pool-recycled (PR 8), so a snapshot
+// can no longer share pointers with the live simulation: every held
+// message is deep-copied on snapshot AND again on restore. A plain copy
+// suffices — each message is owned by exactly one cache location, and
+// in-flight messages (cloned by the network snapshot through the
+// platform's token cloner) never alias cache-held ones. Completion
+// callbacks (mshr waiters, retry funcs) are closures over stable
+// component roots plus captured values, so the func values themselves
+// are shared.
+
+// copyMsg deep-copies one held protocol message.
+func copyMsg(m *Msg) *Msg {
+	if m == nil {
+		return nil
+	}
+	cp := *m
+	return &cp
+}
+
+func copyMsgs(list []*Msg) []*Msg {
+	if len(list) == 0 {
+		return nil
+	}
+	out := make([]*Msg, len(list))
+	for i, m := range list {
+		out[i] = copyMsg(m)
+	}
+	return out
+}
 
 // CacheState is a tag store's saved state.
 type CacheState struct {
@@ -68,13 +91,16 @@ func (l *L1) state() l1State {
 		latSum:   l.latSum,
 		latCount: l.latCount,
 	}
-	for block, m := range l.mshrs {
-		s.mshrs = append(s.mshrs, mshrSnap{
-			block:   block,
-			write:   m.write,
-			waiters: append([]func(cycle int64){}, m.waiters...),
-			retry:   append([]retryReq(nil), m.retry...),
-		})
+	for set := range l.mshrHead {
+		for n := l.mshrHead[set]; n >= 0; n = l.mshrSlab[n].next {
+			m := &l.mshrSlab[n]
+			s.mshrs = append(s.mshrs, mshrSnap{
+				block:   m.block,
+				write:   m.write,
+				waiters: append([]func(cycle int64){}, m.waiters...),
+				retry:   append([]retryReq(nil), m.retry...),
+			})
+		}
 	}
 	return s
 }
@@ -84,17 +110,21 @@ func (l *L1) restore(s l1State) {
 	l.hits.Restore(stats.CounterState{N: s.hits})
 	l.misses.Restore(stats.CounterState{N: s.misses})
 	l.latSum, l.latCount = s.latSum, s.latCount
-	l.mshrs = make(map[uint64]*mshr, len(s.mshrs))
+	for i := range l.mshrHead {
+		l.mshrHead[i] = -1
+	}
+	l.mshrSlab = l.mshrSlab[:0]
+	l.mshrFree = -1
+	l.mshrN = 0
 	for _, ms := range s.mshrs {
-		l.mshrs[ms.block] = &mshr{
-			write:   ms.write,
-			waiters: append([]func(cycle int64){}, ms.waiters...),
-			retry:   append([]retryReq(nil), ms.retry...),
-		}
+		e := l.mshrAlloc(ms.block, ms.write)
+		e.waiters = append(e.waiters, ms.waiters...)
+		e.retry = append(e.retry, ms.retry...)
 	}
 }
 
-// l2txnSnap is one saved in-flight home transaction.
+// l2txnSnap is one saved in-flight home transaction, request and
+// pending queue deep-copied.
 type l2txnSnap struct {
 	block uint64
 	txn   l2txn
@@ -106,18 +136,11 @@ type dirSnap struct {
 	entry dirEntry
 }
 
-// queueSnap is one saved per-block request queue.
-type queueSnap struct {
-	block uint64
-	msgs  []*Msg
-}
-
 // l2State is one bank's saved state.
 type l2State struct {
 	cache        CacheState
 	dir          []dirSnap
 	txns         []l2txnSnap
-	queue        []queueSnap
 	hits, misses int64
 	recalls      int64
 	invs         int64
@@ -131,14 +154,18 @@ func (b *L2Bank) state() l2State {
 		recalls: b.recalls.Value(),
 		invs:    b.invs.Value(),
 	}
-	for block, e := range b.dir {
-		s.dir = append(s.dir, dirSnap{block: block, entry: *e})
+	for i := range b.dirSlots {
+		s.dir = append(s.dir, dirSnap{block: b.dirBlocks[i], entry: b.dirSlots[i]})
 	}
-	for block, t := range b.txns {
-		s.txns = append(s.txns, l2txnSnap{block: block, txn: *t})
-	}
-	for block, q := range b.queue {
-		s.queue = append(s.queue, queueSnap{block: block, msgs: append([]*Msg(nil), q...)})
+	for i, ok := range b.txnTab.live {
+		if !ok {
+			continue
+		}
+		t := &b.txnSlots[b.txnTab.vals[i]]
+		cp := *t
+		cp.req = copyMsg(t.req)
+		cp.pending = copyMsgs(t.pending)
+		s.txns = append(s.txns, l2txnSnap{block: b.txnTab.keys[i], txn: cp})
 	}
 	return s
 }
@@ -149,19 +176,21 @@ func (b *L2Bank) restore(s l2State) {
 	b.misses.Restore(stats.CounterState{N: s.misses})
 	b.recalls.Restore(stats.CounterState{N: s.recalls})
 	b.invs.Restore(stats.CounterState{N: s.invs})
-	b.dir = make(map[uint64]*dirEntry, len(s.dir))
+	b.dirTab.reset()
+	b.dirSlots = b.dirSlots[:0]
+	b.dirBlocks = b.dirBlocks[:0]
 	for _, d := range s.dir {
-		e := d.entry
-		b.dir[d.block] = &e
+		*b.entry(d.block) = d.entry
 	}
-	b.txns = make(map[uint64]*l2txn, len(s.txns))
-	for _, t := range s.txns {
-		txn := t.txn
-		b.txns[t.block] = &txn
-	}
-	b.queue = make(map[uint64][]*Msg, len(s.queue))
-	for _, q := range s.queue {
-		b.queue[q.block] = append([]*Msg(nil), q.msgs...)
+	b.txnTab.reset()
+	b.txnSlots = b.txnSlots[:0]
+	b.txnFree = b.txnFree[:0]
+	for _, ts := range s.txns {
+		t := ts.txn
+		t.req = copyMsg(ts.txn.req)
+		t.pending = copyMsgs(ts.txn.pending)
+		b.txnSlots = append(b.txnSlots, t)
+		b.txnTab.put(ts.block, int32(len(b.txnSlots)-1))
 	}
 }
 

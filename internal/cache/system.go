@@ -55,16 +55,33 @@ type System struct {
 	Hubs []*Hub
 
 	memNodes []noc.NodeID
+
+	// pools holds one protocol-message free list per shard engine; every
+	// controller allocates and frees through the pool of the engine it
+	// runs on, so no pool is ever shared between goroutines.
+	pools map[*sim.Engine]*msgPool
+}
+
+// poolFor returns the message pool of one shard engine, creating it on
+// first use.
+func (s *System) poolFor(eng *sim.Engine) *msgPool {
+	if p, ok := s.pools[eng]; ok {
+		return p
+	}
+	p := &msgPool{}
+	s.pools[eng] = p
+	return p
 }
 
 // NewSystem builds the hierarchy on an existing network.
 func NewSystem(eng *sim.Engine, net *noc.Network, cfg SystemConfig) (*System, error) {
 	nodes := net.Cfg().Nodes()
 	s := &System{
-		Eng:  eng,
-		Net:  net,
-		cfg:  cfg,
-		Mems: make(map[noc.NodeID]*MemNode),
+		Eng:   eng,
+		Net:   net,
+		cfg:   cfg,
+		Mems:  make(map[noc.NodeID]*MemNode),
+		pools: make(map[*sim.Engine]*msgPool),
 	}
 	s.memNodes = cfg.MemNodes
 	if len(s.memNodes) == 0 {

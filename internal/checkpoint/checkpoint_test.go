@@ -31,6 +31,10 @@ type coRunSim struct {
 }
 
 func buildCoRun(t testing.TB, shards int) *coRunSim {
+	return buildCoRunProf(t, shards, traffic.Scale(traffic.LULESH(), 0.05))
+}
+
+func buildCoRunProf(t testing.TB, shards int, prof *traffic.Profile) *coRunSim {
 	t.Helper()
 	cfg := noc.SnackPlatform(4, 4, true)
 	cfg.Shards = shards
@@ -44,7 +48,7 @@ func buildCoRun(t testing.TB, shards int) *coRunSim {
 	if err != nil {
 		t.Fatal(err)
 	}
-	work, err := cpu.NewWorkload(eng, sys, traffic.Scale(traffic.LULESH(), 0.05), testSeed)
+	work, err := cpu.NewWorkload(eng, sys, prof, testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,6 +154,30 @@ func TestForkDeterminism(t *testing.T) {
 			}
 		})
 	}
+
+	// Cache-heavy leg: a miss-dominated workload keeps the MSHR files,
+	// the home banks' transaction slots (recalls, invalidations, pending
+	// queues) and the pooled-message paths densely populated at the
+	// snapshot point, so a fork replays token AND protocol state.
+	t.Run("cache-heavy", func(t *testing.T) {
+		s := buildCoRunProf(t, 2, traffic.Scale(traffic.Graph500(), 0.2))
+		s.eng.Run(4096)
+		if !s.plat.CPM.Busy() {
+			t.Fatal("kernel not in flight at the snapshot point")
+		}
+		if s.sys.OutstandingMisses() == 0 {
+			t.Fatal("no misses in flight at the snapshot point; the leg would not cover MSHR state")
+		}
+		st := checkpoint.Take(s.target())
+		want := s.runToEnd(t)
+		for fork := 0; fork < 2; fork++ {
+			st.Restore()
+			s.kernelRuns, s.lastResult = 0, nil
+			if got := s.runToEnd(t); got != want {
+				t.Errorf("fork %d diverged from the original run", fork)
+			}
+		}
+	})
 }
 
 // TestStandaloneRoundTrip forks a zero-load kernel run (the fig13 leg2

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"snacknoc/internal/fixed"
+	"snacknoc/internal/noc"
+	"snacknoc/internal/sim"
+)
+
+// dispatchProg builds a dispatch-heavy kernel: every RCU runs several
+// MAC sub-block chains whose first operand is a shared loop token
+// (multi-dependent Refs exercise the waiting table and loop capture),
+// and each chain's result streams back to the CPM. One run executes
+// width*height*chains*chainLen instructions.
+func dispatchProg(width, height, chains, chainLen int) *Program {
+	b := &progBuilder{prog: &Program{Name: "bench-dispatch", OutputSlot: map[DepID]int{}}}
+	nodes := width * height
+	refs := make([]DepID, chains)
+	for j := range refs {
+		refs[j] = b.dep()
+		b.data(refs[j], float64(j+1), nodes)
+	}
+	for n := 0; n < nodes; n++ {
+		for j := 0; j < chains; j++ {
+			out := b.dep()
+			sb := b.sb()
+			for i := 0; i < chainLen; i++ {
+				it := InstrToken{Op: OpMAC, Dst: noc.NodeID(n), SubBlock: sb, SBIdx: i,
+					L: Imm32(fixed.FromFloat(float64(i + 1))), R: Imm32(fixed.FromFloat(2))}
+				if i == 0 {
+					it.AccInit = true
+					it.L = Ref(refs[j])
+				}
+				if i == chainLen-1 {
+					it.EndSB = true
+					it.Emit = true
+					it.EmitDep = out
+					it.Dependents = 1
+					it.ToCPM = true
+				}
+				b.instr(it)
+			}
+			b.output(out)
+		}
+	}
+	return b.prog
+}
+
+// BenchmarkRCUDispatch measures the dispatch→compute→complete→emit loop
+// end to end on a standalone 4x4 snack platform: the same kernel is
+// resubmitted every iteration (the fig9/fig12 resubmission pattern), so
+// steady-state allocs/op is the metric the token pools target.
+func BenchmarkRCUDispatch(b *testing.B) {
+	eng := sim.NewEngine()
+	p, err := NewStandalone(eng, 4, 4, true, DefaultPlatformConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := dispatchProg(4, 4, 4, 8)
+	if err := prog.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	instrs := 0
+	for _, e := range prog.Entries {
+		if e.Instr != nil {
+			instrs++
+		}
+	}
+	// One warm run so pools, tables and result buffers reach steady state.
+	if _, err := p.Run(prog, 1_000_000); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(prog, 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(instrs), "instrs/op")
+}

@@ -86,20 +86,33 @@ type CPM struct {
 	// interface). It shares the compute input port with the co-located
 	// RCU so instruction issue never serializes against the memory
 	// controller's response traffic at the node's NI.
-	port   *noc.InjectPort
-	staged *ProgEntry // entry awaiting injection through the port
+	port      *noc.InjectPort
+	staged    *ProgEntry // entry awaiting injection through the port
+	stagedBuf ProgEntry  // backing store for staged, reused per issue
+	pool      *TokenPool // engine-local; nil falls back to plain allocation
 
 	state      KernelState
 	prog       *Program
 	onDone     func(*Result)
 	result     *Result
-	fetched    int // entries whose memory read has been issued
-	inflight   int // outstanding command-stream transactions
-	instrBuf   []ProgEntry
+	fetched    int         // entries whose memory read has been issued
+	inflight   int         // outstanding command-stream transactions
+	instrBuf   []ProgEntry // ring
+	instrHead  int
+	instrLen   int
 	issuedIdx  int // entries issued onto the NoC
 	resultsGot int
 	writesOut  int // outstanding result write-backs
 	pendingWB  int // results not yet grouped into a write-back
+
+	// progStore is the reused backing for the stamped private copy each
+	// Submit makes; its tokens come from pool. slotCache memoizes the
+	// stamped OutputSlot map per source program (the fig9/fig12 pattern
+	// resubmits one immutable program many times; the stamped keys are a
+	// pure function of the source map and this CPM's namespace).
+	progStore Program
+	slotCache map[DepID]int
+	slotSrc   *Program
 
 	// overflow management
 	offload []*DataToken // tokens captured into the offload buffer
@@ -140,6 +153,10 @@ func NewCPM(cfg CPMConfig, net *noc.Network, ctrl *mem.Controller) *CPM {
 
 // SetPort installs the router injection port; the Platform wires it.
 func (c *CPM) SetPort(p *noc.InjectPort) { c.port = p }
+
+// SetPool installs the engine-local token pool; the Platform wires one
+// per shard. A nil pool (direct NewCPM construction) allocates.
+func (c *CPM) SetPool(p *TokenPool) { c.pool = p }
 
 // Name implements sim.Component.
 func (c *CPM) Name() string { return fmt.Sprintf("cpm%d", c.cfg.Node) }
@@ -182,13 +199,18 @@ func (c *CPM) Submit(p *Program, cycle int64, onDone func(*Result)) bool {
 	// this CPM's identity: its node as the result home, and a per-CPM
 	// namespace on dependency and sub-block IDs so concurrently executing
 	// kernels from decentralized CPMs (§VII) can never alias each other's
-	// tokens at the RCUs.
-	c.prog = c.stamp(p.Clone())
+	// tokens at the RCUs. The copy's tokens come from the engine-local
+	// pool (the previous kernel's were recycled as they were consumed),
+	// so resubmitting a kernel is allocation-free in steady state.
+	c.prog = c.stampClone(p)
 	c.onDone = onDone
 	c.state = StateLoading
 	c.fetched = 0
 	c.inflight = 0
-	c.instrBuf = c.instrBuf[:0]
+	for i := range c.instrBuf {
+		c.instrBuf[i] = ProgEntry{}
+	}
+	c.instrHead, c.instrLen = 0, 0
 	c.issuedIdx = 0
 	c.resultsGot = 0
 	c.writesOut = 0
@@ -209,9 +231,12 @@ func (c *CPM) Submit(p *Program, cycle int64, onDone func(*Result)) bool {
 	return true
 }
 
-// stamp namespaces a cloned program for this CPM. Dependency and
-// sub-block IDs must stay below 1<<24 (≈16.7 M per kernel).
-func (c *CPM) stamp(p *Program) *Program {
+// stampClone copies p into this CPM's reused program store, stamping
+// the copy with the CPM's namespace as it goes. Dependency and
+// sub-block IDs must stay below 1<<24 (≈16.7 M per kernel). Tokens come
+// from the engine-local pool; entry and slot buffers are reused across
+// submissions.
+func (c *CPM) stampClone(p *Program) *Program {
 	base := (uint32(c.cfg.Node) + 1) << 24
 	remapDep := func(d DepID) DepID {
 		if uint32(d) >= 1<<24 {
@@ -219,9 +244,18 @@ func (c *CPM) stamp(p *Program) *Program {
 		}
 		return DepID(uint32(d) | base)
 	}
+	dst := &c.progStore
+	dst.Name = p.Name
+	dst.NumOutputs = p.NumOutputs
+	if cap(dst.Entries) < len(p.Entries) {
+		dst.Entries = make([]ProgEntry, 0, len(p.Entries))
+	}
+	entries := dst.Entries[:0]
 	for _, e := range p.Entries {
+		var ne ProgEntry
 		if e.Instr != nil {
-			it := e.Instr
+			it := c.pool.GetInstr()
+			*it = *e.Instr
 			it.Home = c.cfg.Node
 			if it.SubBlock >= 1<<24 {
 				panic(fmt.Sprintf("cpm: sub-block id %d exceeds the namespace", it.SubBlock))
@@ -236,17 +270,26 @@ func (c *CPM) stamp(p *Program) *Program {
 			if it.Emit {
 				it.EmitDep = remapDep(it.EmitDep)
 			}
+			ne.Instr = it
 		}
 		if e.Data != nil {
-			e.Data.Dep = remapDep(e.Data.Dep)
+			d := c.pool.GetData()
+			*d = *e.Data
+			d.Dep = remapDep(d.Dep)
+			ne.Data = d
 		}
+		entries = append(entries, ne)
 	}
-	slots := make(map[DepID]int, len(p.OutputSlot))
-	for d, s := range p.OutputSlot {
-		slots[remapDep(d)] = s
+	dst.Entries = entries
+	if c.slotSrc != p || c.slotCache == nil {
+		slots := make(map[DepID]int, len(p.OutputSlot))
+		for d, s := range p.OutputSlot {
+			slots[remapDep(d)] = s
+		}
+		c.slotCache, c.slotSrc = slots, p
 	}
-	p.OutputSlot = slots
-	return p
+	dst.OutputSlot = c.slotCache
+	return dst
 }
 
 // Evaluate implements sim.Component: refill the instruction buffer from
@@ -282,18 +325,39 @@ func (c *CPM) Evaluate(cycle int64) {
 	if c.reinjecting && len(c.offloadMem) > 0 {
 		tok := c.offloadMem[0]
 		c.offloadMem = c.offloadMem[1:]
-		c.staged = &ProgEntry{Data: tok}
+		c.stagedBuf = ProgEntry{Data: tok}
+		c.staged = &c.stagedBuf
 		c.reinjected.Inc()
 		c.reinjecting = false
 		return
 	}
 	c.reinjecting = true
-	if len(c.instrBuf) == 0 {
+	if c.instrLen == 0 {
 		return
 	}
-	e := c.instrBuf[0]
-	c.instrBuf = c.instrBuf[1:]
-	c.staged = &e
+	c.stagedBuf = c.instrBuf[c.instrHead]
+	c.instrBuf[c.instrHead] = ProgEntry{}
+	c.instrHead = (c.instrHead + 1) % len(c.instrBuf)
+	c.instrLen--
+	c.staged = &c.stagedBuf
+}
+
+// bufPush appends one assembled entry to the instruction-buffer ring.
+func (c *CPM) bufPush(e ProgEntry) {
+	if c.instrLen == len(c.instrBuf) {
+		n := len(c.instrBuf) * 2
+		if n < 64 {
+			n = 64
+		}
+		q := make([]ProgEntry, n)
+		for i := 0; i < c.instrLen; i++ {
+			q[i] = c.instrBuf[(c.instrHead+i)%len(c.instrBuf)]
+		}
+		c.instrBuf = q
+		c.instrHead = 0
+	}
+	c.instrBuf[(c.instrHead+c.instrLen)%len(c.instrBuf)] = e
+	c.instrLen++
 }
 
 // Advance injects the staged entry through the CPM's router port at the
@@ -326,7 +390,7 @@ func (c *CPM) refill(cycle int64) {
 	total := len(c.prog.Entries)
 	for c.inflight < c.cfg.FetchAhead &&
 		c.fetched < total &&
-		len(c.instrBuf)+c.inflight*c.cfg.EntriesPerTxn < c.cfg.InstrBufCap {
+		c.instrLen+c.inflight*c.cfg.EntriesPerTxn < c.cfg.InstrBufCap {
 		lo := c.fetched
 		hi := lo + c.cfg.EntriesPerTxn
 		if hi > total {
@@ -337,7 +401,9 @@ func (c *CPM) refill(cycle int64) {
 		addr := c.cfg.ProgBase + uint64(lo*InstrBytes)
 		c.mem.Access(addr, false, func(at int64) {
 			c.inflight--
-			c.instrBuf = append(c.instrBuf, c.prog.Entries[lo:hi]...)
+			for i := lo; i < hi; i++ {
+				c.bufPush(c.prog.Entries[i])
+			}
 			if c.state == StateLoading {
 				c.state = StateRunning
 			}
@@ -358,6 +424,7 @@ func (c *CPM) Deliver(p *noc.Packet, cycle int64) {
 		panic(fmt.Sprintf("cpm: result token %s has no output slot", tok))
 	}
 	c.result.Values[slot] = tok.V
+	c.pool.PutData(tok) // the result is recorded; the token is consumed
 	c.resultsGot++
 	c.pendingWB++
 	if c.pendingWB >= c.cfg.ResultBatch || c.resultsGot == c.prog.NumOutputs {
@@ -392,7 +459,7 @@ func (c *CPM) maybeFinish(cycle int64) {
 }
 
 // InstrBufLen returns the assembled-but-unissued entry count (debug).
-func (c *CPM) InstrBufLen() int { return len(c.instrBuf) }
+func (c *CPM) InstrBufLen() int { return c.instrLen }
 
 // Inflight returns outstanding command-stream fetches (debug).
 func (c *CPM) Inflight() int { return c.inflight }

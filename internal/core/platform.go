@@ -158,6 +158,18 @@ func attach(eng *sim.Engine, net *noc.Network, rcuCfg RCUConfig, cpms []CPMConfi
 		p.CPMs = append(p.CPMs, cpm)
 	}
 	p.CPM = p.CPMs[0]
+	// One token pool per shard engine: every component schedules token
+	// allocation and release on its own shard's goroutine, so the pools
+	// need no locking (the per-shard flit-pool rule of the sharded NoC).
+	pools := make(map[*sim.Engine]*TokenPool)
+	poolFor := func(e *sim.Engine) *TokenPool {
+		if pl := pools[e]; pl != nil {
+			return pl
+		}
+		pl := NewTokenPool()
+		pools[e] = pl
+		return pl
+	}
 	for i := 0; i < nc.Nodes(); i++ {
 		node := noc.NodeID(i)
 		rcu := NewRCU(rcuCfg, node, net.Loop(), p.CPM.Node())
@@ -167,6 +179,7 @@ func attach(eng *sim.Engine, net *noc.Network, rcuCfg RCUConfig, cpms []CPMConfi
 		}
 		port := net.AttachCompute(node, hook)
 		rcu.SetPort(port)
+		rcu.SetPool(poolFor(net.EngFor(node)))
 		if cpm := byNode[node]; cpm != nil {
 			// A CPM shares its router's compute port with the local RCU
 			// (Fig 5): instruction issue enters the crossbar directly
@@ -179,6 +192,7 @@ func attach(eng *sim.Engine, net *noc.Network, rcuCfg RCUConfig, cpms []CPMConfi
 		net.EngFor(node).Register(rcu)
 	}
 	for _, cpm := range p.CPMs {
+		cpm.SetPool(poolFor(net.EngFor(cpm.Node())))
 		net.EngFor(cpm.Node()).Register(cpm)
 	}
 	return p, nil

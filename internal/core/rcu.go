@@ -28,20 +28,32 @@ type inboxEntry struct {
 	stamp int64
 }
 
-// sbQueue is the ordered instruction buffer for one sub-block: an
-// intra-dependent chain executed strictly in sequence (§III-D1). Arrivals
-// are insertion-sorted on SBIdx; the head fires only when it is the next
-// unexecuted index, so chains survive NoC reordering.
-type sbQueue struct {
-	id       uint32
-	instrs   []*InstrToken
-	executed int // instructions of this sub-block already dispatched
+// instrNode is one linked-list cell of the RCU's shared node slab. Both
+// the per-sub-block instruction queues and the per-dependency waiting
+// lists are singly linked chains of these, so an instruction buffered
+// in a sub-block and indexed under two unresolved operands occupies
+// three cells. Free cells are chained through next.
+type instrNode struct {
+	it   *InstrToken
+	next int32
 }
 
-// headReady reports whether the queue's head is the next instruction in
-// sub-block order.
-func (q *sbQueue) headReady() bool {
-	return len(q.instrs) > 0 && q.instrs[0].SBIdx == q.executed
+// sbState is one active sub-block: an intra-dependent chain executed
+// strictly in SBIdx order (§III-D1). Queued instructions live as
+// index-linked slab cells kept sorted on SBIdx; the head fires only
+// when it is the next unexecuted index, so chains survive NoC
+// reordering.
+type sbState struct {
+	id       uint32
+	executed int   // instructions of this sub-block already dispatched
+	head     int32 // first queued slab cell, -1 when empty
+	tail     int32 // last queued slab cell, -1 when empty
+	count    int32
+}
+
+// waitList heads one dependency's waiting-instruction chain.
+type waitList struct {
+	head, tail int32
 }
 
 // outToken is a result awaiting injection through the compute port.
@@ -55,17 +67,32 @@ type outToken struct {
 // instruction buffer with sub-block partial ordering, a dependency-
 // capture path fed by transient loop tokens, a fixed-point ALU with an
 // accumulator register, and result re-encoding back onto the NoC.
+//
+// The hot state is flat (PR 8): sub-block queues and the dependency-
+// capture index are open-addressed tables over index-linked slab cells,
+// sized once and reused across kernels, and the result queue is a ring.
+// No map grows or shrinks on the dispatch path.
 type RCU struct {
 	cfg     RCUConfig
 	node    noc.NodeID
 	port    *noc.InjectPort
 	loop    *noc.LoopRoute
 	cpmNode noc.NodeID
+	pool    *TokenPool // engine-local; nil falls back to plain allocation
 
-	inbox   []inboxEntry
-	sbs     []*sbQueue              // active sub-blocks, in arrival order
-	sbIndex map[uint32]*sbQueue     // id -> queue
-	waiting map[DepID][]*InstrToken // unresolved operand index
+	inbox []inboxEntry
+
+	nodes    []instrNode // shared slab for sub-block queues and waiting lists
+	nodeFree int32       // slab free-list head, -1 when empty
+
+	sbSlots  []sbState
+	sbFree   []int32
+	sbActive []int32  // live sub-block slots, in arrival order
+	sbTab    u32Table // SubBlock id -> sbSlots index
+
+	waitSlots []waitList
+	waitFree  []int32
+	waitTab   u32Table // DepID -> waitSlots index
 
 	acc     fixed.Q
 	accSB   uint32
@@ -76,7 +103,9 @@ type RCU struct {
 	busyUntil int64
 	execStart int64 // dispatch cycle of exec, for the trace span
 
-	outQ []outToken
+	outQ    []outToken // ring
+	outHead int
+	outLen  int
 
 	// statistics
 	executed   stats.Counter
@@ -94,17 +123,20 @@ type RCU struct {
 // it its injection port.
 func NewRCU(cfg RCUConfig, node noc.NodeID, loop *noc.LoopRoute, cpmNode noc.NodeID) *RCU {
 	return &RCU{
-		cfg:     cfg,
-		node:    node,
-		loop:    loop,
-		cpmNode: cpmNode,
-		sbIndex: make(map[uint32]*sbQueue),
-		waiting: make(map[DepID][]*InstrToken),
+		cfg:      cfg,
+		node:     node,
+		loop:     loop,
+		cpmNode:  cpmNode,
+		nodeFree: -1,
 	}
 }
 
 // SetPort installs the compute-port handle returned by AttachCompute.
 func (r *RCU) SetPort(p *noc.InjectPort) { r.port = p }
+
+// SetPool installs the engine-local token pool; the Platform wires one
+// per shard. A nil pool (direct NewRCU construction) allocates.
+func (r *RCU) SetPool(p *TokenPool) { r.pool = p }
 
 // Name implements sim.Component.
 func (r *RCU) Name() string { return fmt.Sprintf("rcu%d", r.node) }
@@ -126,7 +158,36 @@ func (r *RCU) MaxBuffered() int { return r.maxBuffer }
 
 // Idle reports whether the RCU holds no work at all.
 func (r *RCU) Idle() bool {
-	return r.exec == nil && len(r.inbox) == 0 && len(r.sbs) == 0 && len(r.outQ) == 0
+	return r.exec == nil && len(r.inbox) == 0 && len(r.sbActive) == 0 && r.outLen == 0
+}
+
+// newNode takes a slab cell off the free list.
+func (r *RCU) newNode(it *InstrToken) int32 {
+	if r.nodeFree >= 0 {
+		n := r.nodeFree
+		r.nodeFree = r.nodes[n].next
+		r.nodes[n] = instrNode{it: it, next: -1}
+		return n
+	}
+	r.nodes = append(r.nodes, instrNode{it: it, next: -1})
+	return int32(len(r.nodes) - 1)
+}
+
+// freeNode returns a slab cell to the free list.
+func (r *RCU) freeNode(n int32) {
+	r.nodes[n] = instrNode{next: r.nodeFree}
+	r.nodeFree = n
+}
+
+// freeInstr recycles a completed instruction. An instruction with an
+// unfilled reference operand may still be indexed in a waiting list
+// (only OpAccAdd can dispatch with R unresolved), so it is left to the
+// GC rather than recycled under a live alias.
+func (r *RCU) freeInstr(it *InstrToken) {
+	if (it.L.IsRef && !it.L.filled) || (it.R.IsRef && !it.R.filled) {
+		return
+	}
+	r.pool.PutInstr(it)
 }
 
 // OnArrival implements noc.ComputeUnit: instruction flits are consumed
@@ -153,7 +214,11 @@ func (r *RCU) OnArrival(f *noc.Flit, cycle int64) bool {
 			panic(fmt.Sprintf("%s: token %s over-consumed by %d fills", r.Name(), pl, fills))
 		}
 		pl.Dependents -= uint16(fills)
-		return pl.Dependents == 0
+		if pl.Dependents == 0 {
+			r.pool.PutData(pl) // consumed off the loop; the flit is recycled by the router
+			return true
+		}
+		return false
 	default:
 		return false
 	}
@@ -162,12 +227,13 @@ func (r *RCU) OnArrival(f *noc.Flit, cycle int64) bool {
 // deliver fills every waiting operand that references dep, returning the
 // number of operand fills performed.
 func (r *RCU) deliver(dep DepID, v fixed.Q) int {
-	list, ok := r.waiting[dep]
+	wi, ok := r.waitTab.get(uint32(dep))
 	if !ok {
 		return 0
 	}
 	fills := 0
-	for _, it := range list {
+	for n := r.waitSlots[wi].head; n >= 0; {
+		it := r.nodes[n].it
 		if it.L.IsRef && !it.L.filled && it.L.Dep == dep {
 			it.L.fill(v)
 			fills++
@@ -176,9 +242,35 @@ func (r *RCU) deliver(dep DepID, v fixed.Q) int {
 			it.R.fill(v)
 			fills++
 		}
+		next := r.nodes[n].next
+		r.freeNode(n)
+		n = next
 	}
-	delete(r.waiting, dep)
+	r.waitFree = append(r.waitFree, wi)
+	r.waitTab.del(uint32(dep))
 	return fills
+}
+
+// waitAdd indexes an unresolved operand: the instruction joins dep's
+// chain at the tail, preserving arrival order.
+func (r *RCU) waitAdd(dep DepID, it *InstrToken) {
+	n := r.newNode(it)
+	if wi, ok := r.waitTab.get(uint32(dep)); ok {
+		w := &r.waitSlots[wi]
+		r.nodes[w.tail].next = n
+		w.tail = n
+		return
+	}
+	var wi int32
+	if k := len(r.waitFree); k > 0 {
+		wi = r.waitFree[k-1]
+		r.waitFree = r.waitFree[:k-1]
+	} else {
+		r.waitSlots = append(r.waitSlots, waitList{})
+		wi = int32(len(r.waitSlots) - 1)
+	}
+	r.waitSlots[wi] = waitList{head: n, tail: n}
+	r.waitTab.put(uint32(dep), wi)
 }
 
 // Evaluate implements sim.Component: enqueue arrived instructions,
@@ -198,13 +290,82 @@ func (r *RCU) Evaluate(cycle int64) {
 
 // Advance injects at most one queued result token per cycle.
 func (r *RCU) Advance(cycle int64) {
-	if len(r.outQ) == 0 || r.port == nil {
+	if r.outLen == 0 || r.port == nil {
 		return
 	}
-	o := r.outQ[0]
+	o := &r.outQ[r.outHead]
 	if r.port.Send(o.dst, o.tok, o.loop, cycle) {
-		r.outQ = r.outQ[1:]
+		*o = outToken{}
+		r.outHead = (r.outHead + 1) % len(r.outQ)
+		r.outLen--
 	}
+}
+
+// outPush appends a result to the injection ring.
+func (r *RCU) outPush(o outToken) {
+	if r.outLen == len(r.outQ) {
+		n := len(r.outQ) * 2
+		if n < 8 {
+			n = 8
+		}
+		q := make([]outToken, n)
+		for i := 0; i < r.outLen; i++ {
+			q[i] = r.outQ[(r.outHead+i)%len(r.outQ)]
+		}
+		r.outQ = q
+		r.outHead = 0
+	}
+	r.outQ[(r.outHead+r.outLen)%len(r.outQ)] = o
+	r.outLen++
+}
+
+// sbFor returns the sub-block slot for id, creating it on first use.
+// The returned pointer is invalidated by the next sbFor call.
+func (r *RCU) sbFor(id uint32) *sbState {
+	if si, ok := r.sbTab.get(id); ok {
+		return &r.sbSlots[si]
+	}
+	var si int32
+	if k := len(r.sbFree); k > 0 {
+		si = r.sbFree[k-1]
+		r.sbFree = r.sbFree[:k-1]
+	} else {
+		r.sbSlots = append(r.sbSlots, sbState{})
+		si = int32(len(r.sbSlots) - 1)
+	}
+	r.sbSlots[si] = sbState{id: id, head: -1, tail: -1}
+	r.sbTab.put(id, si)
+	r.sbActive = append(r.sbActive, si)
+	return &r.sbSlots[si]
+}
+
+// sbInsert places it into the sub-block's chain, sorted on SBIdx (flits
+// may arrive out of order); equal indices keep arrival order.
+func (r *RCU) sbInsert(sb *sbState, it *InstrToken) {
+	n := r.newNode(it)
+	// Flits usually arrive in sub-block order, so appending at the tail
+	// is the hot case; the head-walk below only runs for the stragglers.
+	if sb.tail >= 0 && r.nodes[sb.tail].it.SBIdx <= it.SBIdx {
+		r.nodes[n].next = -1
+		r.nodes[sb.tail].next = n
+		sb.tail = n
+		sb.count++
+		return
+	}
+	prev, cur := int32(-1), sb.head
+	for cur >= 0 && r.nodes[cur].it.SBIdx <= it.SBIdx {
+		prev, cur = cur, r.nodes[cur].next
+	}
+	r.nodes[n].next = cur
+	if prev < 0 {
+		sb.head = n
+	} else {
+		r.nodes[prev].next = n
+	}
+	if cur < 0 {
+		sb.tail = n
+	}
+	sb.count++
 }
 
 // drainInbox moves instructions that have passed the enqueue stage into
@@ -213,25 +374,12 @@ func (r *RCU) drainInbox(cycle int64) {
 	n := 0
 	for n < len(r.inbox) && cycle-r.inbox[n].stamp >= r.cfg.EnqueueLat {
 		it := r.inbox[n].it
-		q, ok := r.sbIndex[it.SubBlock]
-		if !ok {
-			q = &sbQueue{id: it.SubBlock}
-			r.sbIndex[it.SubBlock] = q
-			r.sbs = append(r.sbs, q)
-		}
-		// Insertion sort on SBIdx: flits may arrive out of order.
-		pos := len(q.instrs)
-		for pos > 0 && q.instrs[pos-1].SBIdx > it.SBIdx {
-			pos--
-		}
-		q.instrs = append(q.instrs, nil)
-		copy(q.instrs[pos+1:], q.instrs[pos:])
-		q.instrs[pos] = it
+		r.sbInsert(r.sbFor(it.SubBlock), it)
 		if it.L.IsRef && !it.L.filled {
-			r.waiting[it.L.Dep] = append(r.waiting[it.L.Dep], it)
+			r.waitAdd(it.L.Dep, it)
 		}
 		if it.R.IsRef && !it.R.filled {
-			r.waiting[it.R.Dep] = append(r.waiting[it.R.Dep], it)
+			r.waitAdd(it.R.Dep, it)
 		}
 		n++
 	}
@@ -245,48 +393,69 @@ func (r *RCU) drainInbox(cycle int64) {
 
 func (r *RCU) buffered() int {
 	n := len(r.inbox)
-	for _, q := range r.sbs {
-		n += len(q.instrs)
+	for _, si := range r.sbActive {
+		n += int(r.sbSlots[si].count)
 	}
 	return n
 }
 
+// sbHeadReady reports whether the slot's head instruction is the next
+// in sub-block order with every operand available.
+func (r *RCU) sbHeadReady(si int32) bool {
+	sb := &r.sbSlots[si]
+	if sb.head < 0 {
+		return false
+	}
+	it := r.nodes[sb.head].it
+	return it.SBIdx == sb.executed && operandsReady(it)
+}
+
 // dispatch picks the next instruction under the §III-D1 partial order:
 // while an accumulator chain is open only its own sub-block may issue;
-// otherwise the lowest-sequence ready head across sub-blocks wins.
+// otherwise the lowest-sequence ready head across sub-blocks wins (ties
+// broken by arrival order).
 func (r *RCU) dispatch(cycle int64) {
-	var pick *sbQueue
+	pick := int32(-1)
 	if r.accOpen {
-		q, ok := r.sbIndex[r.accSB]
-		if !ok || !q.headReady() || !operandsReady(q.instrs[0]) {
-			if len(r.sbs) > 0 {
+		si, ok := r.sbTab.get(r.accSB)
+		if !ok || !r.sbHeadReady(si) {
+			if len(r.sbActive) > 0 {
 				r.stallCount.Inc()
 			}
 			return
 		}
-		pick = q
+		pick = si
 	} else {
-		for _, q := range r.sbs {
-			if !q.headReady() || !operandsReady(q.instrs[0]) {
+		var pickSeq uint32
+		for _, si := range r.sbActive {
+			if !r.sbHeadReady(si) {
 				continue
 			}
-			if pick == nil || q.instrs[0].Seq < pick.instrs[0].Seq {
-				pick = q
+			seq := r.nodes[r.sbSlots[si].head].it.Seq
+			if pick < 0 || seq < pickSeq {
+				pick, pickSeq = si, seq
 			}
 		}
-		if pick == nil {
-			if len(r.sbs) > 0 {
+		if pick < 0 {
+			if len(r.sbActive) > 0 {
 				r.stallCount.Inc()
 			}
 			return
 		}
 	}
-	it := pick.instrs[0]
-	pick.instrs = pick.instrs[1:]
-	pick.executed++
+	sb := &r.sbSlots[pick]
+	n := sb.head
+	it := r.nodes[n].it
+	sb.head = r.nodes[n].next
+	if sb.head < 0 {
+		sb.tail = -1
+	}
+	r.freeNode(n)
+	sb.count--
+	sb.executed++
 	if it.EndSB {
-		if len(pick.instrs) > 0 {
-			panic(fmt.Sprintf("%s: sub-block %d has instructions beyond EndSB", r.Name(), pick.id))
+		if sb.head >= 0 {
+			panic(fmt.Sprintf("%s: sub-block %d has instructions beyond EndSB", r.Name(), sb.id))
 		}
 		r.removeSB(pick)
 	}
@@ -348,7 +517,8 @@ func (r *RCU) compute(it *InstrToken) fixed.Q {
 // complete finishes the executing instruction: local consumers are
 // satisfied immediately (§III-A: same-PE results are preserved locally),
 // and any remaining dependents receive a data token — to the CPM for
-// final outputs, onto the loop route for transient intermediates.
+// final outputs, onto the loop route for transient intermediates. The
+// retired instruction and any fully consumed token go back to the pool.
 func (r *RCU) complete(cycle int64) {
 	it := r.exec
 	r.exec = nil
@@ -356,13 +526,17 @@ func (r *RCU) complete(cycle int64) {
 	// ALU-occupancy span: dispatch to completion.
 	r.emitCompute(trace.KindRCUExec, cycle, r.execStart, 0)
 	if !it.Emit {
+		r.freeInstr(it)
 		return
 	}
 	r.emitted.Inc()
 	r.emitCompute(trace.KindRCUEmit, cycle, cycle, 0)
-	tok := &DataToken{Dep: it.EmitDep, Dependents: it.Dependents, V: r.execVal}
-	if it.ToCPM {
-		r.outQ = append(r.outQ, outToken{dst: it.Home, tok: tok, loop: false})
+	tok := r.pool.GetData()
+	tok.Dep, tok.Dependents, tok.V = it.EmitDep, it.Dependents, r.execVal
+	toCPM, home := it.ToCPM, it.Home
+	r.freeInstr(it)
+	if toCPM {
+		r.outPush(outToken{dst: home, tok: tok, loop: false})
 		return
 	}
 	if fills := r.deliver(tok.Dep, tok.V); fills > 0 {
@@ -374,7 +548,9 @@ func (r *RCU) complete(cycle int64) {
 		tok.Dependents -= uint16(fills)
 	}
 	if tok.Dependents > 0 {
-		r.outQ = append(r.outQ, outToken{dst: r.loop.Next(r.node), tok: tok, loop: true})
+		r.outPush(outToken{dst: r.loop.Next(r.node), tok: tok, loop: true})
+	} else {
+		r.pool.PutData(tok)
 	}
 }
 
@@ -387,14 +563,17 @@ func (r *RCU) checkAccChain(it *InstrToken) {
 	}
 }
 
-func (r *RCU) removeSB(q *sbQueue) {
-	delete(r.sbIndex, q.id)
-	for i, s := range r.sbs {
-		if s == q {
-			r.sbs = append(r.sbs[:i], r.sbs[i+1:]...)
-			return
+// removeSB retires an emptied sub-block slot, preserving the arrival
+// order of the remaining active sub-blocks.
+func (r *RCU) removeSB(si int32) {
+	r.sbTab.del(r.sbSlots[si].id)
+	for i, s := range r.sbActive {
+		if s == si {
+			r.sbActive = append(r.sbActive[:i], r.sbActive[i+1:]...)
+			break
 		}
 	}
+	r.sbFree = append(r.sbFree, si)
 }
 
 // SetTracer installs (or, with nil, removes) the compute-event tracer.

@@ -46,11 +46,11 @@ func TestRCUReordersSubBlock(t *testing.T) {
 	if r.Executed() != 3 {
 		t.Fatalf("executed %d instructions, want 3", r.Executed())
 	}
-	if len(r.outQ) != 1 {
-		t.Fatalf("outQ has %d tokens, want 1", len(r.outQ))
+	if r.outLen != 1 {
+		t.Fatalf("outQ has %d tokens, want 1", r.outLen)
 	}
 	// 1*2 + 3*4 + 5*6 = 44 — correct only if the chain ran in SBIdx order.
-	if got := r.outQ[0].tok.V.Float(); got != 44 {
+	if got := r.outQ[r.outHead].tok.V.Float(); got != 44 {
 		t.Fatalf("chain result %v, want 44 (out-of-order execution?)", got)
 	}
 }
@@ -78,7 +78,7 @@ func TestRCUWaitsForMissingOperand(t *testing.T) {
 	if r.Executed() != 1 {
 		t.Fatal("did not fire after capture")
 	}
-	if got := r.outQ[0].tok.V.Float(); got != 10 {
+	if got := r.outQ[r.outHead].tok.V.Float(); got != 10 {
 		t.Fatalf("9+1 = %v", got)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"snacknoc/internal/cache"
 	"snacknoc/internal/fixed"
 	"snacknoc/internal/mem"
 	"snacknoc/internal/noc"
@@ -24,9 +25,11 @@ import (
 // pending engine events — are shared, not cloned: they close over the
 // stable component roots whose state is restored alongside.
 
-// TokenCloner deep-copies instruction and data tokens, preserving
+// TokenCloner deep-copies instruction and data tokens — and cache
+// protocol messages, which are pool-recycled and so no longer safe to
+// share between a snapshot and the live simulation — preserving
 // aliasing within one pass. Values of any other type pass through
-// unchanged (cache protocol messages are immutable once sent).
+// unchanged.
 type TokenCloner struct {
 	seen map[any]any
 }
@@ -45,9 +48,25 @@ func (tc *TokenCloner) Clone(v any) any {
 		return tc.instr(t)
 	case *DataToken:
 		return tc.data(t)
+	case *cache.Msg:
+		return tc.Msg(t)
 	default:
 		return v
 	}
+}
+
+// Msg deep-copies a cache protocol message under the identity map; the
+// cache snapshot uses it for queued and in-flight envelopes.
+func (tc *TokenCloner) Msg(m *cache.Msg) *cache.Msg {
+	if m == nil {
+		return nil
+	}
+	if c, ok := tc.seen[m]; ok {
+		return c.(*cache.Msg)
+	}
+	cp := *m
+	tc.seen[m] = &cp
+	return &cp
 }
 
 func (tc *TokenCloner) instr(it *InstrToken) *InstrToken {
@@ -200,13 +219,26 @@ func (r *RCU) snapshot(tc *TokenCloner) rcuState {
 	for _, e := range r.inbox {
 		s.inbox = append(s.inbox, inboxEntry{it: tc.instr(e.it), stamp: e.stamp})
 	}
-	for _, q := range r.sbs {
-		s.sbs = append(s.sbs, sbSnap{id: q.id, executed: q.executed, instrs: tc.instrs(q.instrs)})
+	for _, si := range r.sbActive {
+		sb := &r.sbSlots[si]
+		qs := sbSnap{id: sb.id, executed: sb.executed}
+		for n := sb.head; n >= 0; n = r.nodes[n].next {
+			qs.instrs = append(qs.instrs, tc.instr(r.nodes[n].it))
+		}
+		s.sbs = append(s.sbs, qs)
 	}
-	for dep, list := range r.waiting {
-		s.waiting = append(s.waiting, waitSnap{dep: dep, list: tc.instrs(list)})
+	for i, ok := range r.waitTab.live {
+		if !ok {
+			continue
+		}
+		ws := waitSnap{dep: DepID(r.waitTab.keys[i])}
+		for n := r.waitSlots[r.waitTab.vals[i]].head; n >= 0; n = r.nodes[n].next {
+			ws.list = append(ws.list, tc.instr(r.nodes[n].it))
+		}
+		s.waiting = append(s.waiting, ws)
 	}
-	for _, o := range r.outQ {
+	for i := 0; i < r.outLen; i++ {
+		o := r.outQ[(r.outHead+i)%len(r.outQ)]
 		s.outQ = append(s.outQ, outToken{dst: o.dst, tok: tc.data(o.tok), loop: o.loop})
 	}
 	return s
@@ -218,25 +250,41 @@ func (r *RCU) restore(s rcuState, tc *TokenCloner) {
 	for _, e := range s.inbox {
 		r.inbox = append(r.inbox, inboxEntry{it: tc.instr(e.it), stamp: e.stamp})
 	}
-	r.sbs = r.sbs[:0]
-	r.sbIndex = make(map[uint32]*sbQueue, len(s.sbs))
+	// Reset every flat structure, keeping its capacity, and rebuild
+	// through the same insertion paths the live simulation uses so the
+	// chain layout (and hence dispatch order) is reproduced exactly.
+	r.nodes = r.nodes[:0]
+	r.nodeFree = -1
+	r.sbSlots = r.sbSlots[:0]
+	r.sbFree = r.sbFree[:0]
+	r.sbActive = r.sbActive[:0]
+	r.sbTab.reset()
+	r.waitSlots = r.waitSlots[:0]
+	r.waitFree = r.waitFree[:0]
+	r.waitTab.reset()
 	for _, qs := range s.sbs {
-		q := &sbQueue{id: qs.id, executed: qs.executed, instrs: tc.instrs(qs.instrs)}
-		r.sbs = append(r.sbs, q)
-		r.sbIndex[q.id] = q
+		sb := r.sbFor(qs.id)
+		sb.executed = qs.executed
+		for _, it := range qs.instrs {
+			r.sbInsert(sb, tc.instr(it))
+		}
 	}
-	r.waiting = make(map[DepID][]*InstrToken, len(s.waiting))
 	for _, ws := range s.waiting {
-		r.waiting[ws.dep] = tc.instrs(ws.list)
+		for _, it := range ws.list {
+			r.waitAdd(ws.dep, tc.instr(it))
+		}
 	}
 	r.acc, r.accSB, r.accOpen = s.acc, s.accSB, s.accOpen
 	r.exec = tc.instr(s.exec)
 	r.execVal = s.execVal
 	r.busyUntil = s.busyUntil
 	r.execStart = s.execStart
-	r.outQ = r.outQ[:0]
+	for i := range r.outQ {
+		r.outQ[i] = outToken{}
+	}
+	r.outHead, r.outLen = 0, 0
 	for _, o := range s.outQ {
-		r.outQ = append(r.outQ, outToken{dst: o.dst, tok: tc.data(o.tok), loop: o.loop})
+		r.outPush(outToken{dst: o.dst, tok: tc.data(o.tok), loop: o.loop})
 	}
 	r.executed.Restore(s.executed)
 	r.captured.Restore(s.captured)
@@ -287,7 +335,6 @@ func (c *CPM) snapshot(tc *TokenCloner) cpmState {
 		result:      cloneResult(c.result),
 		fetched:     c.fetched,
 		inflight:    c.inflight,
-		instrBuf:    tc.entries(c.instrBuf),
 		issuedIdx:   c.issuedIdx,
 		resultsGot:  c.resultsGot,
 		writesOut:   c.writesOut,
@@ -308,6 +355,9 @@ func (c *CPM) snapshot(tc *TokenCloner) cpmState {
 		e := tc.entry(*c.staged)
 		s.staged = &e
 	}
+	for i := 0; i < c.instrLen; i++ {
+		s.instrBuf = append(s.instrBuf, tc.entry(c.instrBuf[(c.instrHead+i)%len(c.instrBuf)]))
+	}
 	for _, b := range c.offloadPending {
 		s.offloadPending = append(s.offloadPending, tc.datas(b))
 	}
@@ -317,8 +367,8 @@ func (c *CPM) snapshot(tc *TokenCloner) cpmState {
 func (c *CPM) restore(s cpmState, tc *TokenCloner) {
 	c.staged = nil
 	if s.staged != nil {
-		e := tc.entry(*s.staged)
-		c.staged = &e
+		c.stagedBuf = tc.entry(*s.staged)
+		c.staged = &c.stagedBuf
 	}
 	c.state = s.state
 	c.prog = tc.prog(s.prog)
@@ -326,7 +376,13 @@ func (c *CPM) restore(s cpmState, tc *TokenCloner) {
 	c.result = cloneResult(s.result)
 	c.fetched = s.fetched
 	c.inflight = s.inflight
-	c.instrBuf = append(c.instrBuf[:0], tc.entries(s.instrBuf)...)
+	for i := range c.instrBuf {
+		c.instrBuf[i] = ProgEntry{}
+	}
+	c.instrHead, c.instrLen = 0, 0
+	for _, e := range s.instrBuf {
+		c.bufPush(tc.entry(e))
+	}
 	c.issuedIdx = s.issuedIdx
 	c.resultsGot = s.resultsGot
 	c.writesOut = s.writesOut

@@ -7,6 +7,7 @@ package dataflow
 
 import (
 	"fmt"
+	"sync"
 
 	"snacknoc/internal/fixed"
 )
@@ -98,6 +99,30 @@ func (n *Node) IsScalar() bool { return n.Rows == 1 && n.Cols == 1 }
 type Graph struct {
 	Nodes []*Node
 	Root  *Node
+
+	// Traversal scratch, indexed by Node.ID (dense by construction) and
+	// reused across PostOrder/Eval calls so repeated evaluations of one
+	// graph — the fig9/fig12 resubmission pattern — allocate no maps.
+	// The mutex keeps concurrent evaluations of a shared graph safe;
+	// returned slices are always freshly allocated, so callers may hold
+	// them across calls.
+	mu   sync.Mutex
+	seen []bool
+	memo [][]fixed.Q
+}
+
+// scratch returns the ID-indexed visit and memo buffers, cleared.
+func (g *Graph) scratch() ([]bool, [][]fixed.Q) {
+	if len(g.seen) < len(g.Nodes) {
+		g.seen = make([]bool, len(g.Nodes))
+		g.memo = make([][]fixed.Q, len(g.Nodes))
+	} else {
+		for i := range g.Nodes {
+			g.seen[i] = false
+			g.memo[i] = nil
+		}
+	}
+	return g.seen, g.memo
 }
 
 // Builder constructs graphs with shape checking.
@@ -208,14 +233,16 @@ func (b *Builder) Build(root *Node) (*Graph, error) {
 // PostOrder returns the graph's nodes in post-order from the root — the
 // traversal the compiler maps in (§IV-B1) — visiting each node once.
 func (g *Graph) PostOrder() []*Node {
-	var order []*Node
-	seen := make(map[*Node]bool)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	order := make([]*Node, 0, len(g.Nodes))
+	seen, _ := g.scratch()
 	var visit func(n *Node)
 	visit = func(n *Node) {
-		if seen[n] {
+		if seen[n.ID] {
 			return
 		}
-		seen[n] = true
+		seen[n.ID] = true
 		for _, in := range n.Inputs {
 			visit(in)
 		}
@@ -229,11 +256,13 @@ func (g *Graph) PostOrder() []*Node {
 // fixed-point semantics (and accumulation order) the RCUs use; tests and
 // the CPU baseline compare against it.
 func (g *Graph) Eval() []fixed.Q {
-	memo := make(map[*Node][]fixed.Q)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seen, memo := g.scratch()
 	var eval func(n *Node) []fixed.Q
 	eval = func(n *Node) []fixed.Q {
-		if v, ok := memo[n]; ok {
-			return v
+		if seen[n.ID] {
+			return memo[n.ID]
 		}
 		var out []fixed.Q
 		switch n.Kind {
@@ -296,7 +325,7 @@ func (g *Graph) Eval() []fixed.Q {
 		default:
 			panic(fmt.Sprintf("dataflow: eval of unknown kind %v", n.Kind))
 		}
-		memo[n] = out
+		seen[n.ID], memo[n.ID] = true, out
 		return out
 	}
 	return eval(g.Root)

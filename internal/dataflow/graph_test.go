@@ -172,3 +172,53 @@ func TestEvalDotMatchesManual(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRepeatedEvalIdentical covers the reused traversal scratch: a graph
+// evaluated many times (the kernel-resubmission pattern) must return the
+// same values every pass, and the returned slices must be fresh — held
+// results from earlier passes may not be overwritten by later ones.
+func TestRepeatedEvalIdentical(t *testing.T) {
+	b := NewBuilder()
+	a, _ := b.Input(vec(1, 2, 3, 4), 2, 2)
+	x, _ := b.Input(vec(5, 6, 7, 8), 2, 2)
+	ax, _ := b.MatMul(a, x)
+	sum, _ := b.Add(ax, x) // x reused: shared node exercises the memo
+	r, _ := b.Reduce(sum)
+	g, _ := b.Build(r)
+
+	first := g.Eval()
+	held := append([]fixed.Q(nil), first...)
+	var prev []fixed.Q
+	for i := 0; i < 5; i++ {
+		got := g.Eval()
+		if len(got) != len(first) {
+			t.Fatalf("pass %d: %d values, want %d", i, len(got), len(first))
+		}
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatalf("pass %d: value[%d] = %v, want %v", i, j, got[j], first[j])
+			}
+		}
+		if &got[0] == &first[0] {
+			t.Fatalf("pass %d returned the same backing array as pass 0", i)
+		}
+		prev = got
+	}
+	_ = prev
+	for j := range held {
+		if held[j] != first[j] {
+			t.Fatalf("held result mutated at %d", j)
+		}
+	}
+
+	o1 := g.PostOrder()
+	o2 := g.PostOrder()
+	if len(o1) != len(o2) {
+		t.Fatalf("post-order lengths differ: %d vs %d", len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("post-order differs at %d", i)
+		}
+	}
+}

@@ -5,7 +5,7 @@
 # points (see EXPERIMENTS.md, "Performance").
 #
 # Environment:
-#   BENCH_OUT       output file            (default BENCH_7.json)
+#   BENCH_OUT       output file            (default BENCH_8.json)
 #   BENCHTIME       go test -benchtime    (default 1x; use e.g. 3x to average)
 #   BENCH_RE        go test -bench regexp (default .)
 #   SWEEP_SCALE     sweep -scale          (default 0.25; 0 skips the sweep)
@@ -15,7 +15,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_7.json}
+out=${BENCH_OUT:-BENCH_8.json}
 benchtime=${BENCHTIME:-1x}
 benchre=${BENCH_RE:-.}
 sweepscale=${SWEEP_SCALE:-0.25}
@@ -27,7 +27,7 @@ trap 'rm -f "$raw"' EXIT
 
 echo "== go test -bench=$benchre -benchmem -count=1 -benchtime $benchtime ==" >&2
 go test -run '^$' -bench="$benchre" -benchmem -count=1 -benchtime "$benchtime" \
-    . ./internal/sim ./internal/noc | tee "$raw" >&2
+    . ./internal/sim ./internal/noc ./internal/core ./internal/cache | tee "$raw" >&2
 
 # The sweep compares one serial leg (-j 1) against one all-CPUs leg (-j 0).
 # The jN leg must actually be parallel to mean anything: BENCH_1.json once
