@@ -396,6 +396,58 @@ func BenchmarkPlatformBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpointFork measures the pooled steady-state cell path on
+// the warmed co-run platform: Get + Fork (one arena-backed Restore
+// walk) + Release. The BENCH_8-era per-cell cost this replaces is
+// PlatformBuild + CheckpointSave + CheckpointRestore — build plus the
+// double-clone rule's two deep copies.
+func BenchmarkCheckpointFork(b *testing.B) {
+	tgt := buildCheckpointSim(b)
+	pool := checkpoint.NewPool(1)
+	pool.Seal("bench/4x4", tgt, nil).Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := pool.Get("bench/4x4")
+		if e == nil {
+			b.Fatal("pool miss")
+		}
+		e.Fork()
+		e.Release()
+	}
+}
+
+// BenchmarkDSECell measures one steady-state DSE kernel leg: rewind a
+// pooled zero-load platform with one fork and run the MAC kernel at the
+// DSE smoke size (the scripts/bench.sh cells/second column measures the
+// full driver through cmd/snackdse instead).
+func BenchmarkDSECell(b *testing.B) {
+	eng := sim.NewEngine()
+	plat, err := core.NewStandalone(eng, 4, 4, true, core.DefaultPlatformConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := checkpoint.NewPool(1)
+	pool.Seal("dse/4x4", checkpoint.Target{Eng: eng, Net: plat.Net, Plat: plat}, plat).Release()
+	prog, err := experiments.CompileKernel(cpu.KernelMAC, experiments.DSESmokeDims(), 16, experiments.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := pool.Get("dse/4x4")
+		if e == nil {
+			b.Fatal("pool miss")
+		}
+		e.Fork()
+		if _, err := plat.Run(prog, 2_000_000_000); err != nil {
+			b.Fatal(err)
+		}
+		e.Release()
+	}
+}
+
 // BenchmarkSweepColdVsWarm runs the same reduced Fig 12 slice cold and
 // warm; the ns/op ratio is the headline warm-sweep win recorded in
 // EXPERIMENTS.md. Both sub-benchmarks start each iteration with empty

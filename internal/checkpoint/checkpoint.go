@@ -54,6 +54,13 @@ type State struct {
 	work *cpu.WorkloadState
 	plat *core.PlatformState
 	syn  noc.SyntheticInjectorState
+
+	// arena is the reusable restore scratch: the snapshot's own token
+	// state was cloned once at Take, and each fork reuses this identity
+	// map (reset, buckets kept) instead of growing a fresh one. Forks of
+	// one snapshot share a platform and already serialize, so a single
+	// arena per State is safe.
+	arena *core.TokenCloner
 }
 
 // Take captures the target at its current (settled) cycle. It panics if
@@ -92,11 +99,18 @@ func (s *State) Cycle() int64 { return s.cycle }
 // itself is untouched, so Restore can be called again — each call is an
 // independent fork of the same warmed simulation.
 func (s *State) Restore() {
-	// One fresh identity map per restore pass keeps token aliasing
-	// consistent between the network's in-flight payloads and the
-	// compute layer's buffers, while never sharing a mutable token with
-	// the snapshot or an earlier fork.
-	tc := core.NewTokenCloner()
+	// One identity map per restore pass keeps token aliasing consistent
+	// between the network's in-flight payloads and the compute layer's
+	// buffers, while never sharing a mutable token with the snapshot or
+	// an earlier fork. The map itself is arena-recycled across forks
+	// (cleared, buckets kept); every clone it hands out is still a fresh
+	// allocation, so forks never alias each other.
+	if s.arena == nil {
+		s.arena = core.NewTokenCloner()
+	} else {
+		s.arena.Reset()
+	}
+	tc := s.arena
 	s.target.Net.RestoreState(s.net, tc.Clone)
 	if s.sys != nil {
 		s.target.Sys.Restore(s.sys)

@@ -98,12 +98,21 @@ type Platform struct {
 // NoC"): a fresh snack-enabled mesh with nothing but the SnackNoC
 // attached, and a private DDR3 channel for the CPM.
 func NewStandalone(eng *sim.Engine, width, height int, priority bool, cfg PlatformConfig) (*Platform, error) {
-	nc := noc.SnackPlatform(width, height, priority)
-	nc.Shards = cfg.Shards
-	if nc.Shards > width {
-		nc.Shards = width
+	return NewStandaloneOn(eng, noc.SnackPlatform(width, height, priority), cfg)
+}
+
+// NewStandaloneOn is NewStandalone over an explicit mesh configuration
+// (it must carry a snack vnet and compute ports — see
+// noc.SnackPlatformCustom). The DSE driver uses it to sweep router
+// resources; nc is copied before the shard clamp so the caller's
+// configuration survives.
+func NewStandaloneOn(eng *sim.Engine, nc *noc.Config, cfg PlatformConfig) (*Platform, error) {
+	c := *nc
+	c.Shards = cfg.Shards
+	if c.Shards > c.Width {
+		c.Shards = c.Width
 	}
-	net, err := noc.New(eng, nc)
+	net, err := noc.New(eng, &c)
 	if err != nil {
 		return nil, err
 	}

@@ -40,6 +40,15 @@ func NewTokenCloner() *TokenCloner {
 	return &TokenCloner{seen: make(map[any]any)}
 }
 
+// Reset empties the identity map while keeping its buckets, so a cloner
+// can serve as a reusable fork arena: repeated restore passes over the
+// same snapshot pay for the map's working set once instead of
+// re-growing it on every fork. The clones themselves are always fresh
+// allocations — only the bookkeeping is recycled.
+func (tc *TokenCloner) Reset() {
+	clear(tc.seen)
+}
+
 // Clone copies a token, reusing the copy for repeated aliases. It is
 // the payload-clone hook the noc snapshot takes.
 func (tc *TokenCloner) Clone(v any) any {

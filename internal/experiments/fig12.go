@@ -42,6 +42,9 @@ type Fig12Result struct {
 // so the flattened matrix runs on the sweep worker pool and the rows
 // (and the Fig 11 pick) are assembled afterwards in serial order.
 func RunFig12(benchmarks []*traffic.Profile, kernels []cpu.KernelName, dims KernelDims, scale Scale, priorityModes []bool) (*Fig12Result, error) {
+	// Warm-sweep memos (baseline forks, zero-load legs) are scoped to
+	// this sweep: shared across its cells, dropped when it returns.
+	defer beginSweepScope()()
 	np := len(priorityModes)
 	nk := len(kernels) * np
 	cells := make([]*CoRunResult, len(benchmarks)*nk)
@@ -136,6 +139,7 @@ func Fig13Meshes() [][2]int {
 // RunFig13 reproduces Fig 13 for the given benchmarks. The mesh ×
 // benchmark cells run on the sweep worker pool.
 func RunFig13(benchmarks []*traffic.Profile, dims KernelDims, scale Scale) (*Fig13Result, error) {
+	defer beginSweepScope()()
 	meshes := Fig13Meshes()
 	nb := len(benchmarks)
 	points := make([]Fig13Point, len(meshes)*nb)

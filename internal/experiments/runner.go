@@ -227,6 +227,10 @@ func (r *CoRunResult) KernelSlowdownPct() float64 {
 // RunCoRun executes the full interference experiment: the benchmark
 // alone, the kernel alone at zero load, and the two together.
 func RunCoRun(spec CoRunSpec) (*CoRunResult, error) {
+	// Each co-run participates in a warm-memo scope: nested inside a
+	// sweep driver's scope the memos outlive the cell (that is the warm
+	// win), standalone they are dropped on return instead of leaking.
+	defer beginSweepScope()()
 	if spec.Width == 0 {
 		spec.Width, spec.Height = 4, 4
 	}

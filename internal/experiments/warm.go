@@ -38,9 +38,44 @@ import (
 const WarmupCycles = 8192
 
 var (
-	warmMu sync.Mutex
-	warmOn bool
+	warmMu    sync.Mutex
+	warmOn    bool
+	warmDepth int // nested/concurrent sweep scopes currently open
 )
+
+// beginSweepScope opens a warm-memo scope and returns its closer. The
+// warmed platforms and zero-load memos live exactly as long as some
+// scope is open: every sweep driver (and each co-run, which nests
+// inside a sweep's scope or stands alone) brackets itself, and when the
+// last scope closes the memos are dropped. Without this, distinct
+// figure sweeps in one process would accumulate each other's platforms
+// unbounded — the groups are keyed by (bench, mesh, ...), so a fig12
+// run's 4x4 groups would sit in memory for the whole of a following
+// fig13 run that can never hit them.
+func beginSweepScope() func() {
+	warmMu.Lock()
+	warmDepth++
+	warmMu.Unlock()
+	return endSweepScope
+}
+
+func endSweepScope() {
+	warmMu.Lock()
+	warmDepth--
+	last := warmDepth == 0
+	warmMu.Unlock()
+	if last {
+		resetWarmState()
+	}
+}
+
+// warmStateSize reports how many baseline groups and zero-load memos
+// are currently cached (test hook for the drain guarantee).
+func warmStateSize() (groups, zeros int) {
+	warmGroups.Range(func(_, _ any) bool { groups++; return true })
+	zeroCache.Range(func(_, _ any) bool { zeros++; return true })
+	return
+}
 
 // SetWarmSweeps toggles warm sweep mode for subsequent co-run sweeps.
 // Turning it off releases every cached platform and zero-load result.

@@ -111,13 +111,22 @@ func suffix(label string, d int) string {
 // SnackNoC virtual network and per-router compute ports. priority selects
 // the §III-D3 flit arbitration scheme.
 func SnackPlatform(width, height int, priority bool) *Config {
-	vnets := commVNets(4, 4)
-	vnets = append(vnets, VNetConfig{Name: "snack", VCs: 4, BufDepth: 4})
+	return SnackPlatformCustom(width, height, priority, 4, 4, 32)
+}
+
+// SnackPlatformCustom is SnackPlatform with the router resources left
+// open — the design-space-exploration knobs: per-vnet VC count, buffer
+// depth, and channel width in bytes. The snack vnet is a peer of the
+// two cache vnets inside the same router, so all three share the
+// swept VC/buffer provisioning.
+func SnackPlatformCustom(width, height int, priority bool, vcs, bufDepth, chanBytes int) *Config {
+	vnets := commVNets(vcs, bufDepth)
+	vnets = append(vnets, VNetConfig{Name: "snack", VCs: vcs, BufDepth: bufDepth})
 	return &Config{
 		Name:              "SnackNoC",
 		Width:             width,
 		Height:            height,
-		ChannelWidthBytes: 32,
+		ChannelWidthBytes: chanBytes,
 		RouterLatency:     1,
 		LinkLatency:       1,
 		VNets:             vnets,

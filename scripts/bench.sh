@@ -5,7 +5,7 @@
 # points (see EXPERIMENTS.md, "Performance").
 #
 # Environment:
-#   BENCH_OUT       output file            (default BENCH_8.json)
+#   BENCH_OUT       output file            (default BENCH_9.json)
 #   BENCHTIME       go test -benchtime    (default 1x; use e.g. 3x to average)
 #   BENCH_RE        go test -bench regexp (default .)
 #   SWEEP_SCALE     sweep -scale          (default 0.25; 0 skips the sweep)
@@ -15,7 +15,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_8.json}
+out=${BENCH_OUT:-BENCH_9.json}
 benchtime=${BENCHTIME:-1x}
 benchre=${BENCH_RE:-.}
 sweepscale=${SWEEP_SCALE:-0.25}
@@ -94,12 +94,35 @@ if [ "$sweepscale" != "0" ]; then
     echo "fig12 slice wall: cold ${warm_cold}s, warm ${warm_warm}s" >&2
 fi
 
+# DSE throughput: a deterministic pooled-fork grid through cmd/snackdse,
+# reported as cells/second — the sweep-scale figure of merit for design-
+# space exploration (256 legs at paper dims take minutes; the smoke dims
+# keep the snapshot cheap while still exercising the fork-per-leg path).
+dse_cells=0
+dse_wall=0
+dse_ran=false
+if [ "$sweepscale" != "0" ]; then
+    go build -o /tmp/snackdse.$$ ./cmd/snackdse
+    dse_grid=${DSE_GRID:-buf=1,2,4,8:chan=16,32:vc=2,4:rcu=16,32}
+    echo "== snackdse -grid $dse_grid -kernels MAC -dims smoke -j 1 ==" >&2
+    t0=$(date +%s.%N)
+    /tmp/snackdse.$$ -grid "$dse_grid" -kernels MAC -dims smoke -j 1 \
+        >/dev/null 2>/tmp/snackdse.$$.log
+    t1=$(date +%s.%N)
+    dse_cells=$(awk '/cells x/ {print $2; exit}' /tmp/snackdse.$$.log)
+    rm -f /tmp/snackdse.$$ /tmp/snackdse.$$.log
+    dse_wall=$(awk "BEGIN{printf \"%.3f\", $t1-$t0}")
+    dse_ran=true
+    echo "dse wall: ${dse_cells} cells in ${dse_wall}s" >&2
+fi
+
 # Benchmark lines are "<name> <N> <value> <unit> <value> <unit> ...";
 # fold each into JSON with every metric keyed by its unit. When a baseline
 # file is given, append a before/after ns/op comparison per benchmark.
 awk -v sweep_j1="$sweep_j1" -v sweep_jn="$sweep_jn" -v ncpu="$ncpu" \
     -v workers="$workers" -v sweep_ran="$sweep_ran" -v baseline="$baseline" \
     -v warm_cold="$warm_cold" -v warm_warm="$warm_warm" -v warm_ran="$warm_ran" \
+    -v dse_cells="$dse_cells" -v dse_wall="$dse_wall" -v dse_ran="$dse_ran" \
     -v note="$note" \
     -v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" '
 BEGIN {
@@ -161,6 +184,14 @@ END {
         printf "    \"speedup\": %.2f},\n", wspeed
     } else {
         printf "  \"warm_sweep\": {\"skipped\": true},\n"
+    }
+    if (dse_ran == "true") {
+        printf "  \"dse\": {\"kernels\": [\"MAC\"], \"dims\": \"smoke\",\n"
+        printf "    \"cells\": %s, \"wall_s\": %s,\n", dse_cells, dse_wall
+        cps = (dse_wall > 0) ? dse_cells / dse_wall : 0
+        printf "    \"cells_per_s\": %.2f},\n", cps
+    } else {
+        printf "  \"dse\": {\"skipped\": true},\n"
     }
     if (baseline != "") {
         printf "  \"baseline\": \"%s\",\n  \"vs_baseline\": {\n", baseline

@@ -46,15 +46,33 @@ go test ./...
 # the full platform stack). core and cache ride along for the pooled
 # token/message paths: their pools are engine-local by design, and the
 # sharded co-run legs under race verify no pool is touched cross-shard.
-echo "== go test -race -short ./internal/experiments ./internal/noc ./internal/sim ./internal/core ./internal/cache =="
-go test -race -short ./internal/experiments ./internal/noc ./internal/sim ./internal/core ./internal/cache
+# checkpoint rides along for the platform pool: the DSE invariance test
+# in experiments drives pooled forks from 4 workers, and the pool's own
+# tests cover the Get/Release/Seal paths.
+echo "== go test -race -short ./internal/experiments ./internal/noc ./internal/sim ./internal/core ./internal/cache ./internal/checkpoint =="
+go test -race -short ./internal/experiments ./internal/noc ./internal/sim ./internal/core ./internal/cache ./internal/checkpoint
 
 # Checkpoint round-trip smoke: the warm-sweep machinery rests on fork
 # determinism (one snapshot restored repeatedly replays the identical
 # future). Run the property tests by name so a checkpoint regression is
-# called out as such rather than surfacing as a figure diff later.
-echo "== checkpoint round-trip (fork determinism) =="
-go test -run 'TestForkDeterminism|TestStandaloneRoundTrip' -count=1 ./internal/checkpoint
+# called out as such rather than surfacing as a figure diff later. The
+# pool tests cover the pooled-fork contract the DSE driver rides on.
+echo "== checkpoint round-trip (fork determinism + pool) =="
+go test -run 'TestForkDeterminism|TestStandaloneRoundTrip|TestPool' -count=1 ./internal/checkpoint
+
+# DSE smoke: regenerate the tiny committed grid through the real CLI and
+# byte-compare it against results/. The flags mirror dseTestConfig() in
+# internal/experiments/dse_test.go — the golden test pins the library,
+# this pins the cmd/snackdse flag parsing and rendering on top of it.
+echo "== DSE smoke (tiny grid vs results/dse-smoke.txt) =="
+dse_bin=/tmp/snackdse.ci.$$
+dse_out=/tmp/ci-dse.$$.txt
+go build -o "$dse_bin" ./cmd/snackdse
+"$dse_bin" -grid 'buf=1,2,4:chan=16,32:vc=2,4:rcu=16' -kernels MAC \
+    -dims smoke -j 1 -out "$dse_out" 2>/dev/null
+cmp "$dse_out" results/dse-smoke.txt
+rm -f "$dse_bin" "$dse_out"
+echo "dse smoke: byte-identical"
 
 # -heavy (or CI_HEAVY=1) additionally regenerates the fig12/fig13 full
 # sweeps (minutes each) and byte-compares them against results/.
@@ -93,7 +111,7 @@ go run ./cmd/metricsdiff "$obs_metrics" results/smoke-metrics.json
 # BENCH_GUARD=0 skips the guard (e.g. on a machine the baseline was not
 # recorded on, where absolute ns/op is not comparable).
 if [ "${BENCH_GUARD:-1}" != "0" ]; then
-    guard_base_file=${BENCH_GUARD_BASE:-BENCH_8.json}
+    guard_base_file=${BENCH_GUARD_BASE:-BENCH_9.json}
     guard_pct=${BENCH_GUARD_PCT:-2}
 
     # json_metric <file> <bench> <unit>: one metric from a BENCH_<n>.json.
@@ -159,6 +177,28 @@ if [ "${BENCH_GUARD:-1}" != "0" ]; then
     echo "== bench guard: BenchmarkRCUDispatch allocs/op vs $guard_base_file (10% budget) =="
     best=$(best_of_3 BenchmarkRCUDispatch ./internal/core 'allocs/op' 3x)
     guard BenchmarkRCUDispatch 'allocs/op' "$best" "$base" 10
+
+    # Pooled fork: the steady-state cost per DSE cell. Guard both ns/op
+    # (must stay far below build + double-clone) and allocs/op (the fork
+    # arena keeps the identity-map buckets; creeping allocs means the
+    # arena stopped being reused or a restore path grew an allocation).
+    base=$(json_metric "$guard_base_file" BenchmarkCheckpointFork 'ns/op')
+    if [ -z "$base" ]; then
+        echo "ERROR: no BenchmarkCheckpointFork ns/op in $guard_base_file" >&2
+        exit 1
+    fi
+    echo "== bench guard: BenchmarkCheckpointFork ns/op vs $guard_base_file (${guard_pct}% budget) =="
+    best=$(best_of_3 BenchmarkCheckpointFork . 'ns/op' 3x)
+    guard BenchmarkCheckpointFork 'ns/op' "$best" "$base" "$guard_pct"
+
+    base=$(json_metric "$guard_base_file" BenchmarkCheckpointFork 'allocs/op')
+    if [ -z "$base" ]; then
+        echo "ERROR: no BenchmarkCheckpointFork allocs/op in $guard_base_file" >&2
+        exit 1
+    fi
+    echo "== bench guard: BenchmarkCheckpointFork allocs/op vs $guard_base_file (10% budget) =="
+    best=$(best_of_3 BenchmarkCheckpointFork . 'allocs/op' 3x)
+    guard BenchmarkCheckpointFork 'allocs/op' "$best" "$base" 10
 fi
 
 echo "tier-1: OK"

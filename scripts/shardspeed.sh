@@ -1,0 +1,80 @@
+#!/bin/sh
+# Shard wall-clock speedup (ROADMAP item 4 remainder): the sharded mesh
+# kernel is byte-identical at any -shards N by construction, but its
+# SPEEDUP can only be validated on a multi-core host — this container
+# class has 1 CPU, where the barriers are pure overhead. This script
+# measures real wall clock for the same experiment at several shard
+# counts (serial sweep workers, so only intra-simulation parallelism is
+# in play), records the host's CPU count and GOMAXPROCS in the JSON,
+# and REFUSES to report a speedup when only one CPU is available — a
+# 1-CPU "speedup" would be barrier overhead wearing a trend line.
+#
+# Environment:
+#   SHARDSPEED_OUT     output file        (default SHARDSPEED.json)
+#   SHARDSPEED_EXP     experiment         (default fig2; one sim per bench)
+#   SHARDSPEED_SCALE   -scale             (default 0.25)
+#   SHARDSPEED_SHARDS  shard counts       (default "1 2 4")
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${SHARDSPEED_OUT:-SHARDSPEED.json}
+exp=${SHARDSPEED_EXP:-fig2}
+scale=${SHARDSPEED_SCALE:-0.25}
+shardlist=${SHARDSPEED_SHARDS:-1 2 4}
+
+ncpu=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+gomaxprocs=${GOMAXPROCS:-$ncpu}
+
+if [ "$ncpu" -le 1 ]; then
+    echo "shardspeed: host reports $ncpu CPU — refusing to measure a shard" >&2
+    echo "            speedup (the sharded kernel needs real cores to win;" >&2
+    echo "            on one CPU the barriers are pure overhead)." >&2
+    cat > "$out" <<EOF
+{
+  "skipped": true,
+  "reason": "single-CPU host: a -shards wall-clock speedup would be meaningless",
+  "cpus": $ncpu,
+  "gomaxprocs": $gomaxprocs
+}
+EOF
+    echo "wrote $out (skipped)" >&2
+    exit 0
+fi
+
+bin=/tmp/snackbench.shardspeed.$$
+go build -o "$bin" ./cmd/snackbench
+trap 'rm -f "$bin"' EXIT
+
+walls=""
+for n in $shardlist; do
+    echo "== $exp -scale $scale -j 1 -shards $n ==" >&2
+    t0=$(date +%s.%N)
+    "$bin" -exp "$exp" -scale "$scale" -j 1 -shards "$n" >/dev/null
+    t1=$(date +%s.%N)
+    w=$(awk "BEGIN{printf \"%.3f\", $t1-$t0}")
+    echo "   wall ${w}s" >&2
+    walls="$walls $n:$w"
+done
+
+awk -v walls="$walls" -v exp="$exp" -v scale="$scale" \
+    -v ncpu="$ncpu" -v gomaxprocs="$gomaxprocs" 'BEGIN {
+    n = split(walls, a, " ")
+    printf "{\n  \"experiment\": \"%s\", \"scale\": %s,\n", exp, scale
+    printf "  \"cpus\": %s, \"gomaxprocs\": %s,\n", ncpu, gomaxprocs
+    printf "  \"runs\": [\n"
+    base = 0
+    for (i = 1; i <= n; i++) {
+        split(a[i], kv, ":")
+        if (i == 1) base = kv[2]
+        if (i > 1) printf ",\n"
+        printf "    {\"shards\": %s, \"wall_s\": %s", kv[1], kv[2]
+        if (base > 0 && i > 1)
+            printf ", \"speedup_vs_shards_%s\": %.2f", sbase, base / kv[2]
+        else
+            sbase = kv[1]
+        printf "}"
+    }
+    printf "\n  ]\n}\n"
+}' > "$out"
+
+echo "wrote $out" >&2
