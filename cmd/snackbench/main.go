@@ -36,9 +36,13 @@ func main() {
 	printWorkers := flag.Bool("print-workers", false, "print the resolved sweep worker count and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a pprof goroutine-blocking profile to this file on exit (shard-barrier waits)")
+	mutexprofile := flag.String("mutexprofile", "", "write a pprof contended-mutex profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of every simulation to this file")
 	traceLast := flag.Int("trace-last", 0, "with -trace, keep only the newest N events per simulation")
 	metricsPath := flag.String("metrics", "", "write metrics snapshots of every simulation to this file (.csv for CSV)")
+	attribOn := flag.Bool("attrib", false, "attach cycle-attribution counters to every simulation and print per-run bottleneck reports to stderr")
+	attribInterval := flag.Int64("attrib-interval", 0, "with -attrib, sample windowed per-reason deltas every N cycles (exported as attrib.series.* and as trace counter tracks)")
 	flag.Parse()
 	experiments.SetWorkers(*jobs)
 	experiments.SetShards(*shards)
@@ -61,7 +65,15 @@ func main() {
 	if *metricsPath != "" {
 		experiments.EnableMetrics()
 	}
-	stopProf, err := experiments.StartProfiling(*cpuprofile, *memprofile)
+	if *attribInterval != 0 && !*attribOn {
+		fatalf("-attrib-interval requires -attrib")
+	}
+	if *attribOn {
+		experiments.EnableAttribution(*attribInterval)
+	}
+	stopProf, err := experiments.StartProfiling(experiments.ProfileSpec{
+		CPU: *cpuprofile, Mem: *memprofile, Block: *blockprofile, Mutex: *mutexprofile,
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -122,6 +134,12 @@ func main() {
 	if *metricsPath != "" {
 		if err := experiments.WriteMetrics(*metricsPath); err != nil {
 			fatalf("%v", err)
+		}
+	}
+	if *attribOn {
+		for _, s := range experiments.AttribSummaries() {
+			s.Summary.Render(os.Stderr, s.Label)
+			fmt.Fprintln(os.Stderr)
 		}
 	}
 }

@@ -39,6 +39,7 @@ func main() {
 	poolDepth := flag.Int("pool-depth", 0, "idle pooled platforms kept per shape (0 = one per worker, -1 = disable pooling)")
 	out := flag.String("out", "", "write the report to this file instead of stdout")
 	metricsPath := flag.String("metrics", "", "write metrics snapshots (incl. pool gauges) to this file (.csv for CSV)")
+	attribOn := flag.Bool("attrib", false, "attach cycle-attribution counters and add a per-cell bottleneck verdict column")
 	flag.Parse()
 	experiments.SetWorkers(*jobs)
 	experiments.SetShards(*shards)
@@ -46,6 +47,7 @@ func main() {
 	cfg := experiments.DefaultDSEConfig()
 	cfg.Priority = *priority
 	cfg.PoolDepth = *poolDepth
+	cfg.Attrib = *attribOn
 	if *grid != "" {
 		axes, err := parseGrid(*grid)
 		if err != nil {

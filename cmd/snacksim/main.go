@@ -40,9 +40,13 @@ func main() {
 	warm := flag.Bool("warm-sweeps", false, "fork checkpointed baseline platforms and memoize zero-load legs across co-run cells (byte-identical output; ignored while -trace/-metrics are active)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a pprof goroutine-blocking profile to this file on exit (shard-barrier waits)")
+	mutexprofile := flag.String("mutexprofile", "", "write a pprof contended-mutex profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the simulation to this file")
 	traceLast := flag.Int("trace-last", 0, "with -trace, keep only the newest N events per simulation")
 	metricsPath := flag.String("metrics", "", "write metrics snapshots to this file (.csv for CSV)")
+	attribOn := flag.Bool("attrib", false, "attach cycle-attribution counters and print a bottleneck report to stderr")
+	attribInterval := flag.Int64("attrib-interval", 0, "with -attrib, sample windowed per-reason deltas every N cycles (exported as attrib.series.* and as trace counter tracks)")
 	flag.Parse()
 	experiments.SetWorkers(*jobs)
 	experiments.SetShards(*shards)
@@ -56,7 +60,15 @@ func main() {
 	if *metricsPath != "" {
 		experiments.EnableMetrics()
 	}
-	stopProf, err := experiments.StartProfiling(*cpuprofile, *memprofile)
+	if *attribInterval != 0 && !*attribOn {
+		fatalf("-attrib-interval requires -attrib")
+	}
+	if *attribOn {
+		experiments.EnableAttribution(*attribInterval)
+	}
+	stopProf, err := experiments.StartProfiling(experiments.ProfileSpec{
+		CPU: *cpuprofile, Mem: *memprofile, Block: *blockprofile, Mutex: *mutexprofile,
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -84,6 +96,12 @@ func main() {
 	if *metricsPath != "" {
 		if err := experiments.WriteMetrics(*metricsPath); err != nil {
 			fatalf("%v", err)
+		}
+	}
+	if *attribOn {
+		for _, s := range experiments.AttribSummaries() {
+			s.Summary.Render(os.Stderr, s.Label)
+			fmt.Fprintln(os.Stderr)
 		}
 	}
 }
@@ -157,16 +175,21 @@ func runKernel(name string, w, h int, priority bool) {
 		fatalf("%v", err)
 	}
 	label := fmt.Sprintf("kernel/%s@%dx%d", name, w, h)
-	plat.SetTracer(experiments.ObserveTracer(label))
+	tr := experiments.ObserveTracer(label)
+	plat.SetTracer(tr)
+	rec := experiments.ObserveRecorder()
+	plat.SetAttrib(rec)
+	experiments.ObserveSampling(rec, eng, tr)
 	fmt.Printf("running %s on a zero-load %dx%d SnackNoC (%d entries)...\n",
 		name, w, h, len(prog.Entries))
 	res, err := plat.Run(prog, 1_000_000_000)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if experiments.MetricsEnabled() {
+	if experiments.MetricsEnabled() || rec != nil {
 		reg := stats.NewRegistry()
 		plat.RegisterMetrics(reg)
+		experiments.RegisterRunMetrics(reg, rec, tr)
 		experiments.RecordSnapshot(reg.Snapshot(label))
 	}
 	fmt.Printf("kernel latency:      %d cycles (%.2f cycles/entry)\n",

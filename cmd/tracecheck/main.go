@@ -34,6 +34,11 @@ func main() {
 			bad = true
 			continue
 		}
+		if n := trace.DroppedFromJSON(data); n > 0 {
+			fmt.Fprintf(os.Stderr,
+				"tracecheck: %s: WARNING: ring dropped %d events (oldest records lost; raise -trace-last)\n",
+				path, n)
+		}
 		fmt.Printf("tracecheck: %s OK (%d bytes)\n", path, len(data))
 	}
 	if bad {

@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 
+	"snacknoc/internal/attrib"
 	"snacknoc/internal/noc"
 	"snacknoc/internal/sim"
 	"snacknoc/internal/stats"
@@ -59,6 +60,12 @@ type L1 struct {
 	misses   stats.Counter
 	latSum   int64
 	latCount int64
+
+	// at holds event-driven attribution (MSHR volume, occupancy integral,
+	// high-water mark); nil disables. attribLast is the cycle the
+	// occupancy integral was last advanced to.
+	at         *attrib.Counters
+	attribLast int64
 }
 
 func newL1(sys *System, node int) *L1 {
@@ -97,6 +104,13 @@ func (l *L1) Hits() int64 { return l.hits.Value() }
 // Misses returns the L1 miss count (upgrades included).
 func (l *L1) Misses() int64 { return l.misses.Value() }
 
+// SetAttrib installs (or, with nil, removes) the cycle-attribution
+// counters and re-bases the occupancy integral at the current cycle.
+func (l *L1) SetAttrib(c *attrib.Counters) {
+	l.at = c
+	l.attribLast = l.eng.Cycle()
+}
+
 // mshrFind returns the slab index of block's MSHR, or -1.
 func (l *L1) mshrFind(block uint64) int32 {
 	for n := l.mshrHead[block&(l1MSHRSets-1)]; n >= 0; n = l.mshrSlab[n].next {
@@ -122,8 +136,23 @@ func (l *L1) mshrAlloc(block uint64, write bool) *mshrEntry {
 	set := block & (l1MSHRSets - 1)
 	e.block, e.write, e.next = block, write, l.mshrHead[set]
 	l.mshrHead[set] = n
+	if l.at != nil {
+		l.attribTick()
+		l.at.Inc(attrib.CacheMSHRAlloc)
+		l.at.Max(attrib.CacheMSHRPeak, int64(l.mshrN+1))
+	}
 	l.mshrN++
 	return e
+}
+
+// attribTick advances the occupancy-weighted miss integral to the
+// current cycle at the outgoing outstanding-miss count. Called before
+// every mshrN change so each interval is weighted by the count that
+// held across it.
+func (l *L1) attribTick() {
+	now := l.eng.Cycle()
+	l.at.Add(attrib.CacheMissCycles, (now-l.attribLast)*int64(l.mshrN))
+	l.attribLast = now
 }
 
 // mshrRelease unlinks block's MSHR from its set chain and recycles the
@@ -152,6 +181,9 @@ func (l *L1) mshrRelease(block uint64, n int32) {
 	e.block, e.write = 0, false
 	e.next = l.mshrFree
 	l.mshrFree = n
+	if l.at != nil {
+		l.attribTick()
+	}
 	l.mshrN--
 }
 

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"snacknoc/internal/attrib"
 	"snacknoc/internal/mem"
 	"snacknoc/internal/stats"
 )
@@ -81,15 +82,20 @@ type l1State struct {
 	misses   int64
 	latSum   int64
 	latCount int64
+
+	attrib     attrib.CountersState
+	attribLast int64
 }
 
 func (l *L1) state() l1State {
 	s := l1State{
-		cache:    l.cache.State(),
-		hits:     l.hits.Value(),
-		misses:   l.misses.Value(),
-		latSum:   l.latSum,
-		latCount: l.latCount,
+		cache:      l.cache.State(),
+		hits:       l.hits.Value(),
+		misses:     l.misses.Value(),
+		latSum:     l.latSum,
+		latCount:   l.latCount,
+		attrib:     l.at.State(),
+		attribLast: l.attribLast,
 	}
 	for set := range l.mshrHead {
 		for n := l.mshrHead[set]; n >= 0; n = l.mshrSlab[n].next {
@@ -121,6 +127,10 @@ func (l *L1) restore(s l1State) {
 		e.waiters = append(e.waiters, ms.waiters...)
 		e.retry = append(e.retry, ms.retry...)
 	}
+	// Overwrite last: the mshrAlloc rebuild above ticked the attribution
+	// counters, and those increments belong to the discarded timeline.
+	l.at.Restore(s.attrib)
+	l.attribLast = s.attribLast
 }
 
 // l2txnSnap is one saved in-flight home transaction, request and

@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 
+	"snacknoc/internal/attrib"
 	"snacknoc/internal/mem"
 	"snacknoc/internal/noc"
 	"snacknoc/internal/sim"
@@ -126,6 +127,14 @@ func (s *System) Cfg() SystemConfig { return s.cfg }
 
 // MemNodes returns the memory-controller node list.
 func (s *System) MemNodes() []noc.NodeID { return s.memNodes }
+
+// SetAttrib attaches one event-driven attribution slab per L1 from rec
+// (nil rec yields nil slabs, the disabled state).
+func (s *System) SetAttrib(rec *attrib.Recorder) {
+	for i, l := range s.L1s {
+		l.SetAttrib(rec.NewCounters(attrib.KindCache, fmt.Sprintf("l1.%d", i)))
+	}
+}
 
 // Home returns the L2 bank a block is homed at (block-interleaved).
 func (s *System) Home(block uint64) noc.NodeID {

@@ -1,0 +1,43 @@
+package checkpoint_test
+
+import (
+	"reflect"
+	"testing"
+
+	"snacknoc/internal/attrib"
+	"snacknoc/internal/checkpoint"
+)
+
+// TestAttribCheckpointRoundTrip pins the tentpole's checkpoint
+// contract: attribution counters are part of a snapshot's identity.
+// Restoring rewinds every slab to its value at Take, and a replayed leg
+// accumulates exactly the counters of the original — across every layer
+// (routers, NIs, RCUs, CPM, L1 MSHR integrals, engine) and shard count.
+func TestAttribCheckpointRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		s := buildCoRun(t, shards)
+		rec := attrib.NewRecorder()
+		s.plat.SetAttrib(rec)
+		s.sys.SetAttrib(rec)
+
+		s.eng.Run(4096)
+		st := checkpoint.Take(s.target())
+		atTake := rec.Fold()
+
+		s.eng.Run(4096)
+		firstLeg := rec.Fold()
+		if reflect.DeepEqual(firstLeg, atTake) {
+			t.Fatal("second leg accumulated nothing; the round trip would be vacuous")
+		}
+
+		st.Restore()
+		if got := rec.Fold(); !reflect.DeepEqual(got, atTake) {
+			t.Fatalf("shards=%d: restore did not rewind attribution counters", shards)
+		}
+
+		s.eng.Run(4096)
+		if got := rec.Fold(); !reflect.DeepEqual(got, firstLeg) {
+			t.Fatalf("shards=%d: replayed leg diverged from the original counters", shards)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"snacknoc/internal/attrib"
 	"snacknoc/internal/fixed"
 	"snacknoc/internal/mem"
 	"snacknoc/internal/noc"
@@ -134,6 +135,9 @@ type CPM struct {
 
 	// tr records scheduling decisions; nil disables tracing.
 	tr *trace.Tracer
+
+	// at classifies each evaluated cycle for attribution; nil disables.
+	at *attrib.Counters
 }
 
 // NewCPM builds the manager. Attach it at its node (as the NI client and,
@@ -297,11 +301,13 @@ func (c *CPM) stampClone(p *Program) *Program {
 // control.
 func (c *CPM) Evaluate(cycle int64) {
 	if !c.Busy() {
+		c.at.Inc(attrib.CPMIdle)
 		return
 	}
 	c.port.Update(cycle)
 	c.refill(cycle)
 	if c.staged != nil {
+		c.at.Inc(attrib.CPMThrottled)
 		return // a previous entry is still waiting for a buffer slot
 	}
 	congested := c.alo.Congested(cycle)
@@ -318,6 +324,7 @@ func (c *CPM) Evaluate(cycle int64) {
 		c.FlushOffload()
 	}
 	if congested || !c.port.CanSend() {
+		c.at.Inc(attrib.CPMThrottled)
 		return // hold issue this cycle
 	}
 	// Alternate between re-injecting spilled tokens and fresh
@@ -329,10 +336,14 @@ func (c *CPM) Evaluate(cycle int64) {
 		c.staged = &c.stagedBuf
 		c.reinjected.Inc()
 		c.reinjecting = false
+		c.at.Inc(attrib.CPMIssue)
 		return
 	}
 	c.reinjecting = true
 	if c.instrLen == 0 {
+		// Resources were free but the program has nothing left to stage:
+		// the CPM is drained, waiting only on in-flight completions.
+		c.at.Inc(attrib.CPMDrained)
 		return
 	}
 	c.stagedBuf = c.instrBuf[c.instrHead]
@@ -340,6 +351,7 @@ func (c *CPM) Evaluate(cycle int64) {
 	c.instrHead = (c.instrHead + 1) % len(c.instrBuf)
 	c.instrLen--
 	c.staged = &c.stagedBuf
+	c.at.Inc(attrib.CPMIssue)
 }
 
 // bufPush appends one assembled entry to the instruction-buffer ring.
@@ -502,6 +514,9 @@ func (c *CPM) FlushOffload() {
 
 // SetTracer installs (or, with nil, removes) the scheduling-event tracer.
 func (c *CPM) SetTracer(t *trace.Tracer) { c.tr = t }
+
+// SetAttrib installs (or, with nil, removes) the cycle-attribution counters.
+func (c *CPM) SetAttrib(at *attrib.Counters) { c.at = at }
 
 // RegisterMetrics names the CPM's statistics in reg under the prefix
 // "cpmN.".

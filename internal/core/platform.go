@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"snacknoc/internal/attrib"
 	"snacknoc/internal/cache"
 	"snacknoc/internal/mem"
 	"snacknoc/internal/noc"
@@ -289,6 +290,21 @@ func (p *Platform) SetTracer(t *trace.Tracer) {
 	for _, cpm := range p.CPMs {
 		cpm.SetTracer(t)
 	}
+}
+
+// SetAttrib attaches cycle-attribution counter slabs across the whole
+// platform — every router and NI of the mesh, every RCU, every CPM, and
+// the engine (plus its shard sub-engines). A nil recorder yields nil
+// slabs everywhere, the zero-cost disabled state.
+func (p *Platform) SetAttrib(rec *attrib.Recorder) {
+	p.Net.SetAttrib(rec)
+	for _, r := range p.RCUs {
+		r.SetAttrib(rec.NewCounters(attrib.KindRCU, fmt.Sprintf("rcu%d", r.node)))
+	}
+	for _, cpm := range p.CPMs {
+		cpm.SetAttrib(rec.NewCounters(attrib.KindCPM, fmt.Sprintf("cpm%d", cpm.cfg.Node)))
+	}
+	p.Eng.SetAttrib(rec)
 }
 
 // RegisterMetrics names every statistic of the platform — network, RCUs,

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"snacknoc/internal/attrib"
 	"snacknoc/internal/fixed"
 	"snacknoc/internal/noc"
 	"snacknoc/internal/stats"
@@ -116,6 +117,9 @@ type RCU struct {
 
 	// tr records operand/compute events; nil disables tracing.
 	tr *trace.Tracer
+
+	// at classifies each evaluated cycle for attribution; nil disables.
+	at *attrib.Counters
 }
 
 // NewRCU builds the compute unit for one router. The Network's
@@ -285,6 +289,21 @@ func (r *RCU) Evaluate(cycle int64) {
 	}
 	if r.exec == nil {
 		r.dispatch(cycle)
+	}
+	// Attribution, exactly once per cycle: executing beats everything;
+	// a backed-up output ring means results can't drain into the NoC;
+	// queued instructions or live scoreboards are operand wait; else idle.
+	if r.at != nil {
+		switch {
+		case r.exec != nil:
+			r.at.Inc(attrib.RCUExec)
+		case r.outLen > 0:
+			r.at.Inc(attrib.RCUOutputBackpressure)
+		case len(r.inbox) > 0 || len(r.sbActive) > 0:
+			r.at.Inc(attrib.RCUOperandWait)
+		default:
+			r.at.Inc(attrib.RCUIdle)
+		}
 	}
 }
 
@@ -578,6 +597,9 @@ func (r *RCU) removeSB(si int32) {
 
 // SetTracer installs (or, with nil, removes) the compute-event tracer.
 func (r *RCU) SetTracer(t *trace.Tracer) { r.tr = t }
+
+// SetAttrib installs (or, with nil, removes) the cycle-attribution counters.
+func (r *RCU) SetAttrib(c *attrib.Counters) { r.at = c }
 
 // emitCompute records one compute-track event when tracing is on.
 func (r *RCU) emitCompute(k trace.Kind, cycle, start int64, aux int32) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"snacknoc/internal/attrib"
 	"snacknoc/internal/cache"
 	"snacknoc/internal/fixed"
 	"snacknoc/internal/mem"
@@ -207,6 +208,7 @@ type rcuState struct {
 	emitted   stats.CounterState
 	stalls    stats.CounterState
 	maxBuffer int
+	attrib    attrib.CountersState
 }
 
 func (r *RCU) snapshot(tc *TokenCloner) rcuState {
@@ -224,6 +226,7 @@ func (r *RCU) snapshot(tc *TokenCloner) rcuState {
 		emitted:   r.emitted.State(),
 		stalls:    r.stallCount.State(),
 		maxBuffer: r.maxBuffer,
+		attrib:    r.at.State(),
 	}
 	for _, e := range r.inbox {
 		s.inbox = append(s.inbox, inboxEntry{it: tc.instr(e.it), stamp: e.stamp})
@@ -300,6 +303,7 @@ func (r *RCU) restore(s rcuState, tc *TokenCloner) {
 	r.emitted.Restore(s.emitted)
 	r.stallCount.Restore(s.stalls)
 	r.maxBuffer = s.maxBuffer
+	r.at.Restore(s.attrib)
 }
 
 // cpmState is one manager's saved state, including its private memory
@@ -334,6 +338,7 @@ type cpmState struct {
 	alo      noc.ALODetectorState
 	snackALO noc.SnackALOState
 	mem      mem.ControllerState
+	attrib   attrib.CountersState
 }
 
 func (c *CPM) snapshot(tc *TokenCloner) cpmState {
@@ -359,6 +364,7 @@ func (c *CPM) snapshot(tc *TokenCloner) cpmState {
 		alo:         c.alo.State(),
 		snackALO:    c.snackALO.State(),
 		mem:         c.mem.State(),
+		attrib:      c.at.State(),
 	}
 	if c.staged != nil {
 		e := tc.entry(*c.staged)
@@ -411,6 +417,7 @@ func (c *CPM) restore(s cpmState, tc *TokenCloner) {
 	c.alo.Restore(s.alo)
 	c.snackALO.Restore(s.snackALO)
 	c.mem.Restore(s.mem)
+	c.at.Restore(s.attrib)
 }
 
 // PlatformState is the whole SnackNoC's saved state: every RCU and

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"snacknoc/internal/attrib"
 	"snacknoc/internal/checkpoint"
 	"snacknoc/internal/core"
 	"snacknoc/internal/cpu"
@@ -71,6 +72,11 @@ type DSEConfig struct {
 	// worker (the steady-state need), < 0 disables pooling entirely so
 	// every leg builds cold (the A side of the determinism tests).
 	PoolDepth int
+	// Attrib attaches cycle-attribution counters to every cell's
+	// platform (before the pool seals it, so forks rewind them) and
+	// stamps each cell with its folded bottleneck verdict. The global
+	// -attrib switch (EnableAttribution) implies it.
+	Attrib bool
 }
 
 // DefaultDSEConfig explores the default grid with every Table III
@@ -126,6 +132,10 @@ type DSECell struct {
 	AreaMM float64
 	// Frontier marks Pareto-optimal cells.
 	Frontier bool
+	// Verdict is the cell's dominant-bottleneck classification, folded
+	// across its kernel legs ("" unless the run attributed). Zero-load
+	// kernel cells classify cpm-issue-bound — see LatencyCycles above.
+	Verdict string
 }
 
 // DSEResult is a completed exploration.
@@ -176,6 +186,10 @@ func dseMesh(rcus int) (w, h int, err error) {
 type dsePlatform struct {
 	eng  *sim.Engine
 	plat *core.Platform
+	// rec owns the platform's attribution slabs (nil when off). The
+	// slabs are attached before Seal, so every fork rewinds them to
+	// zero and a post-run fold reads exactly one leg's counts.
+	rec *attrib.Recorder
 }
 
 // cellAt decodes a flat grid index (rcu-major, then vc, chan, buf — so
@@ -242,6 +256,15 @@ func RunDSE(cfg DSEConfig) (*DSEResult, error) {
 	// simulation, independent of the pooled platform).
 	cellLat := make([]float64, nCells)
 
+	// Per-leg attribution folds, indexed like the work queue; merged
+	// per cell (in kernel order) after the sweep, so worker scheduling
+	// cannot reorder the accumulation.
+	attribOn := cfg.Attrib || AttribEnabled()
+	var legAttrib []map[string]float64
+	if attribOn {
+		legAttrib = make([]map[string]float64, nCells*nK)
+	}
+
 	shards := Shards()
 	err := forEach(nCells*nK, func(item int) error {
 		ci, ki := item/nK, item%nK
@@ -262,8 +285,13 @@ func RunDSE(cfg DSEConfig) (*DSEResult, error) {
 			if err != nil {
 				return nil, err
 			}
+			var rec *attrib.Recorder
+			if attribOn {
+				rec = attrib.NewRecorder()
+				plat.SetAttrib(rec)
+			}
 			return pool.Seal(shape, checkpoint.Target{Eng: eng, Net: plat.Net, Plat: plat},
-				&dsePlatform{eng: eng, plat: plat}), nil
+				&dsePlatform{eng: eng, plat: plat, rec: rec}), nil
 		}
 		var entry *checkpoint.Entry
 		if usePool {
@@ -280,6 +308,13 @@ func RunDSE(cfg DSEConfig) (*DSEResult, error) {
 			return fmt.Errorf("dse cell %d (%s): %w", ci, shape, err)
 		}
 		cell.KernelCycles[ki] = r.Cycles()
+		if dp.rec != nil {
+			// Fold before Release: once pooled again, another worker may
+			// rewind and rerun this platform concurrently.
+			m := make(map[string]float64)
+			dp.rec.FoldInto(m)
+			legAttrib[item] = m
+		}
 		if usePool {
 			entry.Release()
 		}
@@ -306,6 +341,15 @@ func RunDSE(cfg DSEConfig) (*DSEResult, error) {
 		logSum := 0.0
 		for ki := range cfg.Kernels {
 			logSum += math.Log(float64(cpuOne[ki]) / float64(cell.KernelCycles[ki]))
+		}
+		if attribOn {
+			merged := make(map[string]float64)
+			for ki := 0; ki < nK; ki++ {
+				for key, v := range legAttrib[ci*nK+ki] {
+					merged[key] += v
+				}
+			}
+			cell.Verdict = attrib.Summarize(merged).Verdict
 		}
 		cell.Speedup = math.Exp(logSum / float64(nK))
 		cell.LatencyCycles = cellLat[ci]
@@ -393,13 +437,28 @@ func RenderDSE(w io.Writer, res *DSEResult) {
 		}
 		return order[x] < order[y]
 	})
-	fmt.Fprintf(w, "%-6s %5s %5s %4s %4s %5s  %8s %8s %8s %8s\n",
+	hasVerdict := false
+	for _, i := range order {
+		if res.Cells[i].Verdict != "" {
+			hasVerdict = true
+			break
+		}
+	}
+	fmt.Fprintf(w, "%-6s %5s %5s %4s %4s %5s  %8s %8s %8s %8s",
 		"cell", "rcu", "mesh", "vc", "buf", "chan", "speedup", "lat(cy)", "power(W)", "area(mm2)")
+	if hasVerdict {
+		fmt.Fprintf(w, "  %s", "verdict")
+	}
+	fmt.Fprintln(w)
 	for _, i := range order {
 		c := &res.Cells[i]
-		fmt.Fprintf(w, "%-6d %5d %2dx%-2d %4d %4d %5d  %8.2f %8.2f %8.3f %8.3f\n",
+		fmt.Fprintf(w, "%-6d %5d %2dx%-2d %4d %4d %5d  %8.2f %8.2f %8.3f %8.3f",
 			i, c.RCUs, c.Width, c.Height, c.VCs, c.BufDepth, c.ChanWidth,
 			c.Speedup, c.LatencyCycles, c.PowerW, c.AreaMM)
+		if hasVerdict {
+			fmt.Fprintf(w, "  %s", c.Verdict)
+		}
+		fmt.Fprintln(w)
 	}
 
 	fmt.Fprintf(w, "\nspeedup vs power (W): * frontier, . dominated\n")

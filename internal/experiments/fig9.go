@@ -69,14 +69,20 @@ func RunFig9(dims KernelDims, cpuCfg cpu.CPUConfig) (*Fig9Result, error) {
 			return err
 		}
 		label := "fig9/" + string(k)
-		plat.SetTracer(obsTracer(label))
+		tr := obsTracer(label)
+		plat.SetTracer(tr)
+		rec := obsRecorder()
+		plat.SetAttrib(rec)
+		startAttribSampling(rec, eng, tr)
 		r, err := plat.Run(prog, 1_000_000_000)
 		if err != nil {
 			return fmt.Errorf("fig9 %s: %w", k, err)
 		}
-		if obsMetricsOn() {
+		if obsMetricsOn() || rec != nil {
 			reg := stats.NewRegistry()
 			plat.RegisterMetrics(reg)
+			rec.RegisterMetrics(reg)
+			registerTraceMetrics(reg, tr)
 			obsRecord(reg.Snapshot(label))
 		}
 		row.SnackCycles = r.Cycles()

@@ -20,10 +20,12 @@ import (
 // output independent of completion order.
 
 var (
-	obsMu      sync.Mutex
-	obsTraces  *trace.Collector
-	obsSnaps   []stats.Snapshot
-	obsMetrics bool
+	obsMu       sync.Mutex
+	obsTraces   *trace.Collector
+	obsSnaps    []stats.Snapshot
+	obsMetrics  bool
+	obsAttrib   bool
+	obsAttribIv int64
 )
 
 // EnableTracing turns on flit-lifecycle tracing for subsequent runs and
@@ -46,14 +48,42 @@ func EnableMetrics() {
 	obsSnaps = nil
 }
 
-// DisableObservability turns tracing and metrics collection back off and
-// drops collected state (tests use this to isolate themselves).
+// EnableAttribution turns on cycle attribution for subsequent runs.
+// interval > 0 additionally samples windowed per-reason deltas every
+// interval cycles (exported as attrib.series.* time series and, when
+// tracing is also on, as Perfetto counter tracks). Attribution disables
+// warm sweep reuse — see warmActive.
+func EnableAttribution(interval int64) {
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	obsAttrib = true
+	obsAttribIv = interval
+}
+
+// AttribEnabled reports whether runs should attach attribution counters.
+func AttribEnabled() bool {
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	return obsAttrib
+}
+
+// AttribInterval returns the sampling window in cycles (0: no sampling).
+func AttribInterval() int64 {
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	return obsAttribIv
+}
+
+// DisableObservability turns tracing, metrics, and attribution back off
+// and drops collected state (tests use this to isolate themselves).
 func DisableObservability() {
 	obsMu.Lock()
 	defer obsMu.Unlock()
 	obsTraces = nil
 	obsMetrics = false
 	obsSnaps = nil
+	obsAttrib = false
+	obsAttribIv = 0
 }
 
 // TraceCollector returns the active collector, or nil when tracing is off.
@@ -82,6 +112,18 @@ func obsTracer(label string) *trace.Tracer {
 		return nil
 	}
 	return obsTraces.NewTracer(label)
+}
+
+// registerTraceMetrics surfaces a run's tracer health in its metrics
+// snapshot: trace.dropped counts ring-overwritten events (nonzero means
+// the -trace-last window was too small for the run; cmd/tracecheck
+// prints the same warning when validating the dump). No-op without a
+// tracer.
+func registerTraceMetrics(reg *stats.Registry, tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	reg.AddGauge("trace.dropped", func() float64 { return float64(tr.Dropped()) })
 }
 
 // obsMetricsOn reports whether runs should snapshot their registries.

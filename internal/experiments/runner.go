@@ -63,11 +63,17 @@ func RunBenchmark(cfg *noc.Config, prof *traffic.Profile, scale Scale) (*BenchRu
 	}
 	net.EnableSampling(sampleInterval)
 	label := prof.Name + "@" + cfg.Name
-	net.SetTracer(obsTracer(label))
+	tr := obsTracer(label)
+	net.SetTracer(tr)
 	sys, err := cache.NewSystem(eng, net, cache.DefaultSystemConfig())
 	if err != nil {
 		return nil, err
 	}
+	rec := obsRecorder()
+	net.SetAttrib(rec)
+	sys.SetAttrib(rec)
+	eng.SetAttrib(rec)
+	startAttribSampling(rec, eng, tr)
 	w, err := cpu.NewWorkload(eng, sys, traffic.Scale(prof, float64(scale)), Seed)
 	if err != nil {
 		return nil, err
@@ -76,12 +82,14 @@ func RunBenchmark(cfg *noc.Config, prof *traffic.Profile, scale Scale) (*BenchRu
 	if !ok {
 		return nil, fmt.Errorf("experiments: %s on %s did not complete", prof.Name, cfg.Name)
 	}
-	if obsMetricsOn() {
+	if obsMetricsOn() || rec != nil {
 		reg := stats.NewRegistry()
 		net.RegisterMetrics(reg)
 		eng.RegisterMetrics(reg)
 		reg.AddGauge("cache.l1.hitrate", sys.L1HitRate)
 		reg.AddGauge("cache.l2.hitrate", sys.L2HitRate)
+		rec.RegisterMetrics(reg)
+		registerTraceMetrics(reg, tr)
 		obsRecord(reg.Snapshot(label))
 	}
 	return collect(prof.Name, cfg.Name, rt, net, sys), nil
@@ -277,16 +285,22 @@ func RunCoRun(spec CoRunSpec) (*CoRunResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		zeroPlat.SetTracer(obsTracer(cell + "/zero"))
+		zeroTr := obsTracer(cell + "/zero")
+		zeroPlat.SetTracer(zeroTr)
+		zeroRec := obsRecorder()
+		zeroPlat.SetAttrib(zeroRec)
+		startAttribSampling(zeroRec, zeroEng, zeroTr)
 		zr, err := zeroPlat.Run(prog, 500_000_000)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: zero-load %s: %w", spec.Kernel, err)
 		}
 		res.ZeroLoadCycles = zr.Cycles()
-		if obsMetricsOn() {
+		if obsMetricsOn() || zeroRec != nil {
 			reg := stats.NewRegistry()
 			zeroPlat.RegisterMetrics(reg)
 			registerCompileCacheMetrics(reg)
+			zeroRec.RegisterMetrics(reg)
+			registerTraceMetrics(reg, zeroTr)
 			obsRecord(reg.Snapshot(cell + "/zero"))
 		}
 	}
@@ -328,6 +342,7 @@ func runCoRunLeg(cfg *noc.Config, spec CoRunSpec, prog *core.Program, out *CoRun
 	if err != nil {
 		return nil, err
 	}
+	rec := obsRecorder()
 	var plat *core.Platform
 	if prog != nil {
 		plat, err = core.AttachToSystem(eng, sys, core.DefaultPlatformConfig())
@@ -335,6 +350,7 @@ func runCoRunLeg(cfg *noc.Config, spec CoRunSpec, prog *core.Program, out *CoRun
 			return nil, err
 		}
 		plat.SetTracer(tr)
+		plat.SetAttrib(rec)
 		var kernelCycles int64
 		var resubmit func(r *core.Result)
 		resubmit = func(r *core.Result) {
@@ -354,13 +370,20 @@ func runCoRunLeg(cfg *noc.Config, spec CoRunSpec, prog *core.Program, out *CoRun
 		}
 		resubmit(nil)
 	}
+	if plat == nil {
+		// No platform walk covered the mesh and engine for this leg.
+		net.SetAttrib(rec)
+		eng.SetAttrib(rec)
+	}
+	sys.SetAttrib(rec)
+	startAttribSampling(rec, eng, tr)
 	if _, ok := cpu.Run(eng, w, 2_000_000_000); !ok {
 		return nil, fmt.Errorf("experiments: co-run %s did not complete", spec.Bench.Name)
 	}
 	if plat != nil {
 		out.Offloaded = plat.CPM.Offloaded()
 	}
-	if obsMetricsOn() {
+	if obsMetricsOn() || rec != nil {
 		reg := stats.NewRegistry()
 		if plat != nil {
 			plat.RegisterMetrics(reg)
@@ -373,6 +396,8 @@ func runCoRunLeg(cfg *noc.Config, spec CoRunSpec, prog *core.Program, out *CoRun
 		if prog != nil {
 			registerCompileCacheMetrics(reg)
 		}
+		rec.RegisterMetrics(reg)
+		registerTraceMetrics(reg, tr)
 		obsRecord(reg.Snapshot(label))
 	}
 	return collectLegStats(net, w), nil

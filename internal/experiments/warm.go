@@ -96,9 +96,11 @@ func WarmSweeps() bool {
 }
 
 // warmActive reports whether the next co-run may take the warm path:
-// the mode is on and no observability sink is attached.
+// the mode is on and no observability sink is attached. Attribution
+// counts as a sink: warm legs fork memoized platforms whose counters
+// belong to another cell's timeline, so attributed sweeps run cold.
 func warmActive() bool {
-	return WarmSweeps() && TraceCollector() == nil && !obsMetricsOn()
+	return WarmSweeps() && TraceCollector() == nil && !obsMetricsOn() && !AttribEnabled()
 }
 
 // resetWarmState drops all warmed platforms and memoized results.

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"snacknoc/internal/attrib"
 	"snacknoc/internal/sim"
 	"snacknoc/internal/stats"
 	"snacknoc/internal/trace"
@@ -247,6 +248,20 @@ func (n *Network) SetTracer(t *trace.Tracer) {
 	}
 	for _, ni := range n.nis {
 		ni.SetTracer(t)
+	}
+}
+
+// SetAttrib attaches one cycle-attribution slab per router and NI from
+// rec (nil rec yields nil slabs, the disabled state). Unlike a tracer
+// the slabs are component-owned, so sharded execution stays parallel:
+// each shard writes only its own components' counters, and the step
+// barrier orders those writes before the root reads them.
+func (n *Network) SetAttrib(rec *attrib.Recorder) {
+	for _, r := range n.routers {
+		r.SetAttrib(rec.NewCounters(attrib.KindRouter, r.Name()))
+	}
+	for _, ni := range n.nis {
+		ni.SetAttrib(rec.NewCounters(attrib.KindNI, ni.Name()))
 	}
 }
 

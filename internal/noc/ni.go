@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"snacknoc/internal/attrib"
 	"snacknoc/internal/sim"
 	"snacknoc/internal/stats"
 	"snacknoc/internal/trace"
@@ -87,6 +88,9 @@ type NI struct {
 
 	// tr records packet/flit lifecycle events; nil disables tracing.
 	tr *trace.Tracer
+
+	// at classifies each evaluated cycle for attribution; nil disables.
+	at *attrib.Counters
 }
 
 // reasmState tracks one packet mid-reassembly. The Packet is embedded by
@@ -215,8 +219,11 @@ func (ni *NI) Quiescent() bool {
 }
 
 // CatchUp implements sim.Quiescer. An idle NI records no per-cycle
-// statistics, so skipped cycles need no replay.
-func (ni *NI) CatchUp(int64) {}
+// statistics, so skipped cycles need no replay beyond the attribution
+// idle count: a quiescent NI has no injection work at all.
+func (ni *NI) CatchUp(idle int64) {
+	ni.at.Add(attrib.NIIdle, idle)
+}
 
 // Evaluate implements sim.Component: credit ingestion, VC allocation for
 // waiting packets, flit transmission, and ejection-side reassembly.
@@ -225,6 +232,16 @@ func (ni *NI) Evaluate(cycle int64) {
 	// low-utilization NoCs) costs four length checks per cycle.
 	if len(ni.incoming) == 0 && len(ni.active) == 0 &&
 		ni.creditIn.pending() == 0 && ni.fromRouter.pending() == 0 {
+		if ni.at != nil {
+			// Packets can only wait on VCs while transactions drain, so
+			// waitingCount is 0 here in practice; check anyway so a stuck
+			// packet would surface as backpressure, not idle.
+			if ni.waitingCount > 0 {
+				ni.at.Inc(attrib.NIBackpressure)
+			} else {
+				ni.at.Inc(attrib.NIIdle)
+			}
+		}
 		return
 	}
 	if q := ni.creditIn.q; len(q) > 0 && q[0].arrive <= cycle {
@@ -308,6 +325,22 @@ func (ni *NI) Evaluate(cycle int64) {
 				ni.removeTxn(t)
 			}
 			break
+		}
+	}
+
+	// Injection-side attribution, exactly once per evaluated cycle: a
+	// staged flit is an active cycle; remaining transactions or waiting
+	// packets with nothing staged are injection backpressure (no credit,
+	// or the one-flit-per-cycle port is the limit); otherwise only
+	// ejection-side work ran, which the taxonomy counts as idle.
+	if ni.at != nil {
+		switch {
+		case ni.staged != nil:
+			ni.at.Inc(attrib.NIActive)
+		case len(ni.active) > 0 || ni.waitingCount > 0:
+			ni.at.Inc(attrib.NIBackpressure)
+		default:
+			ni.at.Inc(attrib.NIIdle)
 		}
 	}
 
@@ -442,6 +475,9 @@ func (ni *NI) totalQueued() int {
 
 // SetTracer installs (or, with nil, removes) the lifecycle-event tracer.
 func (ni *NI) SetTracer(t *trace.Tracer) { ni.tr = t }
+
+// SetAttrib installs (or, with nil, removes) the cycle-attribution counters.
+func (ni *NI) SetAttrib(c *attrib.Counters) { ni.at = c }
 
 // pktRecord builds a trace record for a packet-level NI event.
 func (ni *NI) pktRecord(k trace.Kind, cycle, start int64, pktID uint64, vnet int) trace.Record {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"snacknoc/internal/attrib"
 	"snacknoc/internal/sim"
 	"snacknoc/internal/stats"
 	"snacknoc/internal/trace"
@@ -186,6 +187,10 @@ type Router struct {
 	// tr records flit-lifecycle events; nil (the default) disables
 	// tracing and must cost nothing beyond the nil checks.
 	tr *trace.Tracer
+
+	// at classifies every evaluated cycle into the attribution taxonomy;
+	// nil (the default) disables attribution under the same contract.
+	at *attrib.Counters
 }
 
 type stagedCredit struct {
@@ -444,6 +449,9 @@ func (r *Router) CatchUp(idle int64) {
 		r.xbarSeries.ObserveIdleN(idle)
 	}
 	r.bufHist.ObserveBucketN(int(r.bufBucket[0]), idle)
+	// A quiescent router holds no flits, so every skipped cycle would have
+	// classified as empty.
+	r.at.Add(attrib.RouterEmpty, idle)
 }
 
 // FreeOutputVCs counts free useful virtual output channels across the
@@ -908,10 +916,30 @@ func (r *Router) observe(cycle int64, moves int) {
 	}
 	r.xbarMoves.Add(int64(moves))
 	r.bufHist.ObserveBucket(int(r.bufBucket[r.occupancy]))
+	if r.at != nil {
+		// Exactly one reason per evaluated cycle. occupancy is post-move:
+		// a router that drained its last flit this cycle counts active, not
+		// empty. The credit-stall bucket is the catch-all for buffered
+		// flits that cleared VC allocation but could not traverse — out of
+		// credits, or ineligible this cycle from pipeline/link latency.
+		switch {
+		case moves > 0:
+			r.at.Inc(attrib.RouterActive)
+		case r.occupancy == 0:
+			r.at.Inc(attrib.RouterEmpty)
+		case len(r.waitVA) > 0:
+			r.at.Inc(attrib.RouterVCStall)
+		default:
+			r.at.Inc(attrib.RouterCreditStall)
+		}
+	}
 }
 
 // SetTracer installs (or, with nil, removes) the lifecycle-event tracer.
 func (r *Router) SetTracer(t *trace.Tracer) { r.tr = t }
+
+// SetAttrib installs (or, with nil, removes) the cycle-attribution slab.
+func (r *Router) SetAttrib(c *attrib.Counters) { r.at = c }
 
 // flitRecord builds a trace record carrying f's coordinates. port is the
 // input direction for arrival-side kinds and the output direction for

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"snacknoc/internal/attrib"
 	"snacknoc/internal/stats"
 )
 
@@ -58,6 +59,7 @@ type routerState struct {
 	bufHist    stats.HistogramState
 	consumed   stats.CounterState
 	classMoves [2]stats.CounterState
+	attrib     attrib.CountersState
 }
 
 type txnState struct {
@@ -86,6 +88,7 @@ type niState struct {
 	injected, ejected, flitsIn, flitsOut stats.CounterState
 	latSum, latCount                     []int64
 	maxQueued                            int
+	attrib                               attrib.CountersState
 }
 
 // identityClone is the nil-cloner fallback: payloads are shared.
@@ -234,6 +237,7 @@ func (r *Router) snapshot(clone func(any) any) routerState {
 		bufHist:    r.bufHist.State(),
 		consumed:   r.consumed.State(),
 		classMoves: [2]stats.CounterState{r.classMoves[0].State(), r.classMoves[1].State()},
+		attrib:     r.at.State(),
 	}
 	if r.xbarSeries != nil {
 		s.xbarSeries = r.xbarSeries.State()
@@ -303,6 +307,7 @@ func (r *Router) restore(s *routerState, clone func(any) any) {
 	r.consumed.Restore(s.consumed)
 	r.classMoves[0].Restore(s.classMoves[0])
 	r.classMoves[1].Restore(s.classMoves[1])
+	r.at.Restore(s.attrib)
 }
 
 func (ni *NI) snapshot(clone func(any) any) niState {
@@ -321,6 +326,7 @@ func (ni *NI) snapshot(clone func(any) any) niState {
 		latSum:       append([]int64(nil), ni.latSum...),
 		latCount:     append([]int64(nil), ni.latCount...),
 		maxQueued:    ni.maxQueued,
+		attrib:       ni.at.State(),
 	}
 	for _, c := range ni.credits {
 		s.credits = append(s.credits, append([]int(nil), c...))
@@ -409,6 +415,7 @@ func (ni *NI) restore(s *niState, clone func(any) any) {
 	copy(ni.latSum, s.latSum)
 	copy(ni.latCount, s.latCount)
 	ni.maxQueued = s.maxQueued
+	ni.at.Restore(s.attrib)
 }
 
 // InjectPortState is a compute injection port's saved credit and

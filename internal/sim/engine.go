@@ -57,6 +57,7 @@ import (
 	"fmt"
 	"sync"
 
+	"snacknoc/internal/attrib"
 	"snacknoc/internal/stats"
 )
 
@@ -164,6 +165,11 @@ type Engine struct {
 	// serialShards forces the shard phase onto the calling goroutine
 	// (used when a shared observer such as a tracer is attached).
 	serialShards bool
+
+	// at counts per-step evaluation volume for attribution; nil disables.
+	// Each engine (root and every shard) owns its own slab, so sharded
+	// writes stay goroutine-local behind the step barrier.
+	at *attrib.Counters
 }
 
 // NewEngine returns an engine at cycle 0 with no components.
@@ -190,6 +196,18 @@ func (e *Engine) Register(c Component) *Handle {
 // Cycle returns the current simulated cycle. During Evaluate/Advance it is
 // the cycle being executed; after Run it is the next cycle to execute.
 func (e *Engine) Cycle() int64 { return e.cycle }
+
+// SetAttrib attaches per-engine evaluation-volume counters from rec (nil
+// rec detaches): one slab for this engine ("engine") plus one per shard
+// sub-engine ("engine.shardK"). Call it after Partition. The per-engine
+// split depends on the shard count; only the layer total (awake
+// component-evaluations per run) is shard-invariant.
+func (e *Engine) SetAttrib(rec *attrib.Recorder) {
+	e.at = rec.NewCounters(attrib.KindEngine, "engine")
+	for i, s := range e.subs {
+		s.at = rec.NewCounters(attrib.KindEngine, fmt.Sprintf("engine.shard%d", i))
+	}
+}
 
 // Schedule runs fn at the start of the given absolute cycle. Scheduling in
 // the past (or the current cycle, whose event phase already ran) is an
@@ -415,6 +433,9 @@ func (e *Engine) Step() {
 		e.mergeWoken()
 	}
 	act := e.active
+	if e.at != nil {
+		e.at.Add(attrib.EngineEvals, int64(len(act)))
+	}
 	for _, st := range act {
 		st.c.Evaluate(e.cycle)
 	}

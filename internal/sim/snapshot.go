@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"snacknoc/internal/attrib"
+)
 
 // Checkpoint support. SnapshotState captures everything the engine will
 // consult on future cycles — the clock, the per-component sleep states,
@@ -23,6 +27,7 @@ type EngineState struct {
 	comps       []compSnap
 	activeIdx   []int
 	events      []eventSnap
+	attrib      attrib.CountersState
 	subs        []*EngineState
 }
 
@@ -55,6 +60,7 @@ func (e *Engine) SnapshotState() *EngineState {
 		stopped:     e.stopped,
 		comps:       make([]compSnap, len(e.comps)),
 		activeIdx:   make([]int, len(e.active)),
+		attrib:      e.at.State(),
 	}
 	for i, st := range e.comps {
 		s.comps[i] = compSnap{asleep: st.asleep, sleptAt: st.sleptAt, wakeAt: st.wakeAt}
@@ -139,6 +145,7 @@ func (e *Engine) RestoreState(s *EngineState) {
 		}
 		e.wheel.schedule(e.cycle, ev)
 	}
+	e.at.Restore(s.attrib)
 	for i, sub := range e.subs {
 		sub.RestoreState(s.subs[i])
 	}

@@ -125,7 +125,15 @@ func (t *TimeSeries) ObserveIdleN(n int64) {
 	}
 }
 
-// Interval returns the sampling interval in cycles.
+// Record appends one completed sample directly, bypassing the per-cycle
+// Observe accounting. It is for series whose windows are closed by an
+// external sampler (the attribution interval sampler) rather than by
+// counting busy cycles; do not mix Record and Observe on one series.
+func (t *TimeSeries) Record(v float64) {
+	t.samples = append(t.samples, v)
+}
+
+// Interval returns the configured window length in cycles.
 func (t *TimeSeries) Interval() int64 { return t.interval }
 
 // Samples returns a copy of the completed samples as fractions in [0,1].

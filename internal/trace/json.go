@@ -77,9 +77,13 @@ func (t *Tracer) writeEvents(bw *bufio.Writer, pid int, first *bool) error {
 	}
 	emit(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%q}}`, pid, name)
 
-	// Name every (node, unit) track that appears.
+	// Name every (node, unit) track that appears. Counter samples live on
+	// named process-level counter tracks, not (node, unit) threads.
 	seen := map[int32]bool{}
 	for _, r := range recs {
+		if r.Kind == KindCounter {
+			continue
+		}
 		u := r.Kind.unit()
 		id := tid(r.Node, u)
 		if !seen[id] {
@@ -93,6 +97,13 @@ func (t *Tracer) writeEvents(bw *bufio.Writer, pid int, first *bool) error {
 		r := recs[i]
 		u := r.Kind.unit()
 		switch r.Kind {
+		case KindCounter:
+			track := t.CounterTrackName(r.Aux)
+			if track == "" {
+				track = "counter"
+			}
+			emit(`{"name":%q,"ph":"C","ts":%d,"pid":%d,"args":{"value":%d}}`,
+				track, r.Cycle, pid, r.Packet)
 		case KindSwitch, KindDeliver, KindRCUExec:
 			dur := r.Cycle - r.Start
 			if dur < 0 {

@@ -68,6 +68,11 @@ const (
 	// KindCPMThrottle: the CPM held issue this cycle because the ALO
 	// congestion estimator reported the NoC congested.
 	KindCPMThrottle
+	// KindCounter: a windowed counter sample ("C" phase in the JSON dump).
+	// Aux holds the counter-track id (see Tracer.CounterTrack), Packet the
+	// sample value; Node is -1 — counter tracks are per-process, not per
+	// (node, unit) thread.
+	KindCounter
 	numKinds
 )
 
@@ -76,7 +81,7 @@ var kindNames = [numKinds]string{
 	"inject", "flit-send", "flit-arrive", "vc-alloc", "switch",
 	"eject", "deliver", "consume", "drain", "rcu-capture",
 	"rcu-exec", "rcu-emit", "cpm-issue", "cpm-submit", "cpm-finish",
-	"cpm-throttle",
+	"cpm-throttle", "counter",
 }
 
 // String returns the event name used in the JSON dump.
@@ -151,6 +156,7 @@ type Tracer struct {
 	next    int // ring write position once len(recs) == limit
 	wrapped bool
 	dropped int64
+	tracks  []string // counter-track names, indexed by KindCounter Aux
 }
 
 // New returns a tracer labelled name. limit <= 0 records everything;
@@ -203,6 +209,25 @@ func (t *Tracer) Dropped() int64 {
 		return 0
 	}
 	return t.dropped
+}
+
+// CounterTrack registers a named counter track and returns its id, to
+// be carried in a KindCounter record's Aux. Tracks survive ring wrap —
+// only records live in the ring.
+func (t *Tracer) CounterTrack(name string) int32 {
+	if t == nil {
+		return -1
+	}
+	t.tracks = append(t.tracks, name)
+	return int32(len(t.tracks) - 1)
+}
+
+// CounterTrackName resolves a track id ("" when out of range).
+func (t *Tracer) CounterTrackName(id int32) string {
+	if t == nil || id < 0 || int(id) >= len(t.tracks) {
+		return ""
+	}
+	return t.tracks[id]
 }
 
 // Records returns the held records oldest-first. The slice is a copy when

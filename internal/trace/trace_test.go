@@ -115,6 +115,69 @@ func TestCollectorMergesDeterministically(t *testing.T) {
 	}
 }
 
+// TestCounterTracks pins the Perfetto counter-track path the attrib
+// sampler uses: named tracks, "C"-phase events carrying the windowed
+// delta, and a validating dump.
+func TestCounterTracks(t *testing.T) {
+	var nilTr *Tracer
+	if nilTr.CounterTrack("x") != -1 || nilTr.CounterTrackName(0) != "" {
+		t.Fatal("nil tracer should reject counter tracks")
+	}
+	tr := New("unit", 0)
+	a := tr.CounterTrack("attrib.router.active")
+	b := tr.CounterTrack("attrib.cpm.issue")
+	if a == b || tr.CounterTrackName(a) != "attrib.router.active" {
+		t.Fatalf("track ids a=%d b=%d name=%q", a, b, tr.CounterTrackName(a))
+	}
+	tr.Emit(Record{Kind: KindCounter, Cycle: 100, Node: -1, Aux: a, Packet: 42,
+		Seq: -1, Port: -1, VNet: -1, VC: -1})
+	tr.Emit(Record{Kind: KindCounter, Cycle: 200, Node: -1, Aux: b, Packet: 7,
+		Seq: -1, Port: -1, VNet: -1, VC: -1})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(buf.Bytes()); err != nil {
+		t.Fatalf("counter dump failed validation: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{`"ph":"C"`, `"attrib.router.active"`, `"value":42`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump lacks %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestDroppedSurfaces pins the ring-overflow satellite: the dropped
+// count reaches the process_name marker and DroppedFromJSON recovers it
+// from the dump (what cmd/tracecheck warns on).
+func TestDroppedSurfaces(t *testing.T) {
+	tr := New("ring", 4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Instant(KindInject, int64(i), 0))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if got := DroppedFromJSON(buf.Bytes()); got != 6 {
+		t.Fatalf("DroppedFromJSON = %d, want 6", got)
+	}
+	// An unbounded tracer reports zero.
+	clean := New("ok", 0)
+	clean.Emit(Instant(KindInject, 1, 0))
+	buf.Reset()
+	if err := clean.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := DroppedFromJSON(buf.Bytes()); got != 0 {
+		t.Fatalf("DroppedFromJSON on a clean dump = %d, want 0", got)
+	}
+}
+
 func TestValidateRejectsMalformed(t *testing.T) {
 	cases := map[string]string{
 		"not json":        `{`,

@@ -3,6 +3,7 @@ package trace
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 )
 
 // Validate checks that data is well-formed Chrome trace-event JSON of the
@@ -77,6 +78,18 @@ func validateEvent(e any) error {
 		return requireTime(ev, name, "ts")
 	case "B", "E":
 		return requireTime(ev, name, "ts")
+	case "C":
+		if err := requireTime(ev, name, "ts"); err != nil {
+			return err
+		}
+		argm, ok := ev["args"].(map[string]any)
+		if !ok {
+			return fmt.Errorf("%q: counter without args", name)
+		}
+		if _, ok := number(argm["value"]); !ok {
+			return fmt.Errorf("%q: counter args lack a numeric value", name)
+		}
+		return nil
 	default:
 		return fmt.Errorf("%q: unknown phase %q", name, ph)
 	}
@@ -96,4 +109,39 @@ func requireTime(ev map[string]any, name, key string) error {
 func number(v any) (float64, bool) {
 	f, ok := v.(float64)
 	return f, ok
+}
+
+// DroppedFromJSON sums the ring-overwritten event counts a dump's
+// process names advertise ("<name> (ring: N events dropped)").
+// cmd/tracecheck warns when the total is nonzero — a wrapped ring means
+// the trace silently lost its oldest events. Malformed input returns 0;
+// run Validate first for structural errors.
+func DroppedFromJSON(data []byte) int64 {
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Args struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0
+	}
+	var total int64
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "M" || ev.Name != "process_name" {
+			continue
+		}
+		i := strings.LastIndex(ev.Args.Name, "(ring: ")
+		if i < 0 {
+			continue
+		}
+		var n int64
+		if _, err := fmt.Sscanf(ev.Args.Name[i:], "(ring: %d events dropped)", &n); err == nil {
+			total += n
+		}
+	}
+	return total
 }

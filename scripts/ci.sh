@@ -88,26 +88,46 @@ echo "== benchmark smoke (1 iteration) =="
 go test -run '^$' -bench 'BenchmarkEngineSchedule' -benchtime 1x ./internal/sim
 go test -run '^$' -bench 'BenchmarkRouterEvaluate|BenchmarkBoundaryExchange|BenchmarkShardBarrier' -benchtime 1x ./internal/noc
 
-# Observability smoke: trace and snapshot a tiny deterministic kernel run,
-# validate the trace-event JSON, and diff the metrics against the golden
-# snapshot under results/. Any behavioural change shows up here as a
-# metrics diff (regenerate the golden alongside results/ when intended).
-echo "== observability smoke (traced Reduction kernel) =="
+# Observability smoke: trace, attribute, and snapshot a tiny
+# deterministic kernel run, validate the trace-event JSON, and diff the
+# metrics against the golden snapshot under results/. The run is
+# attributed (-attrib -attrib-interval), so the golden pins the counter
+# gauges, the attrib.series.* interval summaries, and the trace.dropped
+# tracer-health gauge alongside the ordinary metrics. Any behavioural
+# change shows up here as a metrics diff (regenerate the golden
+# alongside results/ when intended).
+echo "== observability smoke (traced+attributed Reduction kernel) =="
 obs_bin=/tmp/snacksim.ci.$$
 obs_trace=/tmp/ci-trace.$$.json
 obs_metrics=/tmp/ci-metrics.$$.json
 trap 'rm -f "$obs_bin" "$obs_trace" "$obs_metrics"' EXIT
 go build -o "$obs_bin" ./cmd/snacksim
 "$obs_bin" -kernel Reduction -trace "$obs_trace" -trace-last 4096 \
-    -metrics "$obs_metrics" >/dev/null
+    -attrib -attrib-interval 2000 -metrics "$obs_metrics" >/dev/null 2>/dev/null
 go run ./cmd/tracecheck "$obs_trace"
 go run ./cmd/metricsdiff "$obs_metrics" results/smoke-metrics.json
 
-# Bench guard: tracing must be free when disabled. The trace-disabled
-# Fig 2 router benchmark may not regress more than BENCH_GUARD_PCT
-# (default 2%) against the ns/op recorded in BENCH_GUARD_BASE. The best
-# of three runs is compared, not a single sample — a loaded host skews
-# individual runs by more than the budget being enforced.
+# Attribution smoke: the snackscope report for a zero-load Reduction
+# kernel is a pure function of the simulated cycles — byte-compare it
+# against the committed golden (verdict included: zero-load kernels are
+# cpm-issue-bound). snackscope itself enforces the sum-to-cycles
+# invariant before rendering, so a taxonomy hole fails here too.
+echo "== attribution smoke (snackscope Reduction kernel vs results/scope-smoke.txt) =="
+scope_out=/tmp/ci-scope.$$.txt
+go run ./cmd/snackscope -kernel Reduction -dims smoke >"$scope_out"
+cmp "$scope_out" results/scope-smoke.txt
+rm -f "$scope_out"
+echo "attribution smoke: byte-identical"
+
+# Bench guard: tracing AND attribution must be free when disabled (both
+# follow the same nil-check discipline, and the benchmarks run with both
+# off). The observability-disabled Fig 2 router benchmark may not
+# regress more than BENCH_GUARD_PCT (default 2%) against the ns/op
+# recorded in BENCH_GUARD_BASE; the fig13 guard below holds the compute
+# path (RCU/CPM/cache, which now carry attribution sites too) to the
+# same budget. The best of three runs is compared, not a single sample —
+# a loaded host skews individual runs by more than the budget being
+# enforced.
 # BENCH_GUARD=0 skips the guard (e.g. on a machine the baseline was not
 # recorded on, where absolute ns/op is not comparable).
 if [ "${BENCH_GUARD:-1}" != "0" ]; then
